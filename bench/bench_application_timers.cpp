@@ -1,0 +1,92 @@
+// Table I + Fig. 6 reproduction: the Cascadia application timer breakdown
+// (Initialization, Setup, Adjoint p2o, I/O), with the short measured solve
+// projected to the paper's O(20,000)-timestep production runs, showing that
+// initialization/setup/I-O are negligible against the wave solver.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/p2o_builder.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "wave/adjoint.hpp"
+
+int main() {
+  using namespace tsunami;
+  TimerRegistry timers;
+
+  // --- Initialization: device/runtime bring-up (here: OpenMP warm-up). ----
+  Stopwatch init_watch;
+  {
+    double sink = 0.0;
+#pragma omp parallel for reduction(+ : sink)
+    for (int i = 0; i < 1000; ++i) sink += static_cast<double>(i);
+  }
+  timers.add("Initialization", init_watch.seconds());
+
+  // --- Setup: mesh, partial assembly, parameter/observation operators. ----
+  Stopwatch setup_watch;
+  const Bathymetry bathy;  // synthetic Cascadia
+  const HexMesh mesh(bathy, 10, 14, 3);
+  AcousticGravityModel model(mesh, 2);
+  const ObservationOperator sensors = ObservationOperator::seafloor_sensors(
+      model, sensor_grid(6, 10e3, 90e3, 20e3, 230e3));
+  timers.add("Setup", setup_watch.seconds());
+
+  // --- Adjoint p2o: one adjoint propagation per sensor (measured over the
+  //     real interval count, then projected like the paper's Fig. 6). ------
+  TimeGrid grid;
+  grid.num_intervals = 8;
+  grid.substeps = 25;
+  grid.dt = model.cfl_timestep(0.35);
+  const std::size_t measured_steps = grid.num_intervals * grid.substeps;
+
+  std::vector<Matrix> rows;
+  for (std::size_t s = 0; s < sensors.num_outputs(); ++s)
+    rows.push_back(adjoint_p2o_rows(model, sensors, s, grid, &timers));
+
+  // --- I/O: write the p2o column vectors to disk (Table I's I/O row). -----
+  Stopwatch io_watch;
+  std::filesystem::create_directories("artifacts");
+  {
+    std::ofstream f("artifacts/p2o_columns.bin", std::ios::binary);
+    for (const auto& r : rows)
+      f.write(reinterpret_cast<const char*>(r.data()),
+              static_cast<std::streamsize>(r.size() * sizeof(double)));
+  }
+  timers.add("I/O", io_watch.seconds());
+
+  // --- Report: measured, then projected to 20,000 timesteps (Fig. 6). -----
+  const double project = 20000.0 / static_cast<double>(measured_steps);
+  std::printf("=== Table I timers (measured: %zu sensors x %zu timesteps) "
+              "===\n\n",
+              sensors.num_outputs(), measured_steps);
+
+  TextTable table({"Timer", "measured", "projected (20k steps)",
+                   "% of projected app"});
+  const double proj_solver = timers.total("Adjoint p2o") * project;
+  const double proj_io = timers.total("I/O") * project;
+  const double proj_total = timers.total("Initialization") +
+                            timers.total("Setup") + proj_solver + proj_io;
+  auto emit = [&](const std::string& name, double measured, double projected) {
+    table.row()
+        .cell(name)
+        .cell(format_duration(measured))
+        .cell(format_duration(projected))
+        .cell(100.0 * projected / proj_total, 2);
+  };
+  emit("Initialization", timers.total("Initialization"),
+       timers.total("Initialization"));
+  emit("Setup", timers.total("Setup"), timers.total("Setup"));
+  emit("Adjoint p2o", timers.total("Adjoint p2o"), proj_solver);
+  emit("I/O", timers.total("I/O"), proj_io);
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("Shape check (paper Fig. 6): the adjoint wave solver "
+              "dominates (>95%% projected); initialization, setup and I/O "
+              "are negligible-to-minor.\n");
+  std::printf("solver share here: %.1f%%\n", 100.0 * proj_solver / proj_total);
+  std::filesystem::remove("artifacts/p2o_columns.bin");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// SecIV reproduction: why low-rank SoA methods fail for this problem.
+//
+// The paper argues the prior-preconditioned data-misfit Hessian has
+// effective rank close to the DATA dimension (no low-rank structure),
+// because wave propagation preserves information and the sensors sit on the
+// boundary whose motion is being inferred. We compute the spectrum of the
+// prior-preconditioned data-space misfit  Gn^{-1/2} F Gp F^T Gn^{-1/2}
+// (same nonzero spectrum as the prior-preconditioned Hessian of the
+// negative log likelihood) and report the effective rank / data dimension,
+// plus the implied CG iteration count for the conventional method.
+
+#include <cstdio>
+
+#include "core/digital_twin.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/eigen.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace tsunami;
+
+  TwinConfig config = TwinConfig::tiny();
+  config.num_sensors = 8;
+  config.num_intervals = 12;
+  DigitalTwin twin(config);
+
+  const RuptureConfig rcfg = margin_wide_scenario(
+      config.bathymetry.length_x, config.bathymetry.length_y, 8.5, 5);
+  Rng rng(1);
+  const SyntheticEvent event =
+      twin.synthesize(RuptureScenario(rcfg), rng);
+  twin.run_phase1();
+  twin.run_phase2(event.noise);
+
+  // K = Gn + F Gp F^T; the misfit part is (K - sigma^2 I) / sigma^2 in the
+  // prior-preconditioned sense. Its eigenvalues above 1 drive CG iteration
+  // counts (SecIV).
+  const Matrix& k = twin.hessian().matrix();
+  const double var = event.noise.variance();
+  const std::size_t n = k.rows();
+  Matrix misfit(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      misfit(i, j) = (k(i, j) - (i == j ? var : 0.0)) / var;
+
+  const auto eigs = symmetric_eigenvalues(misfit);
+  const std::size_t rank_above_unity = effective_rank(
+      eigs, 1.0 / std::max(eigs.front(), 1.0));  // eigenvalues >= 1
+  std::size_t above_one = 0;
+  for (double e : eigs)
+    if (e >= 1.0) ++above_one;
+  (void)rank_above_unity;
+
+  std::printf("=== Spectrum of the prior-preconditioned misfit Hessian ===\n");
+  std::printf("data dimension: %zu | parameter dimension: %zu\n\n", n,
+              twin.parameter_dim());
+
+  TextTable table({"quantity", "value"});
+  table.row().cell("lambda_max").cell(eigs.front(), 1);
+  table.row().cell("lambda_min").cell(eigs.back(), 3);
+  table.row().cell("eigenvalues >= 1 (CG-relevant)").cell(
+      static_cast<long>(above_one));
+  table.row().cell("effective rank / data dim").cell(
+      static_cast<double>(above_one) / static_cast<double>(n), 2);
+  table.row().cell("eff. rank (1e-6 lambda_max cutoff)").cell(
+      static_cast<long>(effective_rank(eigs, 1e-6)));
+  std::printf("%s\n", table.str().c_str());
+
+  // Decay profile: the paper's point is that this does NOT collapse after a
+  // few modes (contrast with diffusive inverse problems).
+  std::printf("spectrum decay (fraction of lambda_max):\n");
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(eigs.size() - 1));
+    std::printf("  lambda[%3zu] / lambda[0] = %.3e\n", idx,
+                eigs[idx] / eigs.front());
+  }
+
+  std::printf("\nshape check (paper SecIV): effective rank ~ data dimension "
+              "(here %.0f%%), so conventional CG needs O(data-dim) PDE-solve "
+              "pairs per event -- the intractability that motivates the "
+              "offline-online decomposition.\n",
+              100.0 * static_cast<double>(above_one) / static_cast<double>(n));
+
+  // --- The low-rank SoA method applied anyway -----------------------------
+  // [17, 18] build a rank-k approximation with a randomized eigensolver and
+  // keep it if the residual is negligible. For this operator the residual
+  // stays O(1) until k ~ data dimension: "low-rank" degenerates to dense.
+  std::printf("\n=== Randomized low-rank approximation (the SoA method of "
+              "[17,18]) ===\n");
+  const LinearOp misfit_op = [&](std::span<const double> x,
+                                 std::span<double> y) {
+    gemv(misfit, x, y);
+  };
+  TextTable lowrank({"rank k", "k / data dim", "range residual fraction"});
+  for (std::size_t k : {n / 16, n / 8, n / 4, n / 2, n - 10}) {
+    if (k == 0) continue;
+    const auto approx = randomized_eigenvalues(misfit_op, n, k, 8, 2);
+    lowrank.row()
+        .cell(static_cast<long>(k))
+        .cell(static_cast<double>(k) / static_cast<double>(n), 2)
+        .cell(approx.residual_fraction, 3);
+  }
+  std::printf("%s\n", lowrank.str().c_str());
+  std::printf("shape check: the residual decays slowly with k (no spectral "
+              "gap) -- truncation at k << data dim loses O(1) of the "
+              "operator, unlike the diffusive inverse problems where [17,18] "
+              "succeed.\n");
+  return 0;
+}

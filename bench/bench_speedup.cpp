@@ -1,0 +1,118 @@
+// SecVII-C reproduction: the three speedup claims, measured end to end on
+// the same reduced-scale problem.
+//
+//   1. FFT-based Hessian matvec vs the conventional forward+adjoint PDE
+//      pair (paper: 0.024 s vs 104 min = 260,000x).
+//   2. Online Phase 4 inversion vs the SoA prior-preconditioned CG with
+//      PDE solves per iteration (paper: <0.2 s vs 50 years = 10^10x).
+//   3. PDE-solve count: offline Nd+Nq adjoint solves, once, vs
+//      2 x iterations per event for the baseline (paper: ~810x fewer).
+//
+// Absolute factors scale with problem size (ours is ~10^5 smaller); the
+// SHAPE — FFT matvec >> PDE matvec, online >> baseline — is the claim.
+
+#include <cstdio>
+
+#include "core/baseline_cg.hpp"
+#include "core/digital_twin.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace tsunami;
+
+  TwinConfig config = TwinConfig::tiny();
+  // Keep the data dimension small: the prior-preconditioned Hessian is
+  // I + rank-(Nd Nt), so baseline CG needs ~Nd*Nt iterations (2 PDE solves
+  // each) — exactly the paper's intractability, which we must be able to
+  // afford once here.
+  config.num_sensors = 4;
+  config.num_intervals = 8;
+  DigitalTwin twin(config);
+
+  const RuptureConfig rcfg = margin_wide_scenario(
+      config.bathymetry.length_x, config.bathymetry.length_y, 8.5, 3);
+  const RuptureScenario scenario(rcfg);
+  Rng rng(1);
+  const SyntheticEvent event = twin.synthesize(scenario, rng);
+  twin.run_offline(event.noise);
+
+  const auto& grid = twin.time_grid();
+  const auto& f = *twin.p2o().toeplitz;
+  std::printf("=== SecVII-C speedups at reduced scale ===\n");
+  std::printf("parameters %zu | data %zu | timesteps/solve %zu\n\n",
+              twin.parameter_dim(), twin.data_dim(),
+              grid.num_intervals * grid.substeps);
+
+  // --- 1. Hessian matvec: FFT vs PDE pair --------------------------------
+  Rng rng2(2);
+  const auto v = rng2.normal_vector(twin.parameter_dim());
+  std::vector<double> fv(twin.data_dim()), ftfv(twin.parameter_dim());
+
+  Stopwatch pde_watch;
+  forward_p2o_apply(twin.model(), twin.sensors(), grid, v,
+                    std::span<double>(fv));
+  adjoint_p2o_transpose_apply(twin.model(), twin.sensors(), grid, fv,
+                              std::span<double>(ftfv));
+  const double t_pde_pair = pde_watch.seconds();
+
+  Stopwatch fft_watch;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i) {
+    f.apply(v, std::span<double>(fv));
+    f.apply_transpose(fv, std::span<double>(ftfv));
+  }
+  const double t_fft_pair = fft_watch.seconds() / reps;
+
+  // --- 2. Online inversion vs baseline CG --------------------------------
+  const InversionResult online = twin.infer(event.d_obs);
+  const double t_online = online.infer_seconds + online.predict_seconds;
+
+  BaselineOptions opts;
+  opts.max_iterations = 80;
+  opts.relative_tolerance = 1e-8;
+  const BaselineResult baseline =
+      baseline_cg_solve(twin.model(), twin.sensors(), grid, twin.prior(),
+                        event.noise, event.d_obs, opts);
+
+  // Agreement check: both must find the same MAP point.
+  const double map_err =
+      DigitalTwin::relative_error(baseline.m_map, online.m_map);
+
+  // --- 3. PDE-solve accounting --------------------------------------------
+  const std::size_t phase1_solves =
+      config.num_sensors + config.num_gauges;  // one-time
+  const std::size_t baseline_solves = baseline.pde_solves;  // per event
+
+  TextTable table({"Comparison", "conventional", "this framework",
+                   "speedup", "paper"});
+  table.row()
+      .cell("Hessian matvec (pair)")
+      .cell(format_duration(t_pde_pair))
+      .cell(format_duration(t_fft_pair))
+      .cell(t_pde_pair / t_fft_pair, 0)
+      .cell("260,000x");
+  table.row()
+      .cell("solve one event (MAP+QoI)")
+      .cell(format_duration(baseline.seconds))
+      .cell(format_duration(t_online))
+      .cell(baseline.seconds / t_online, 0)
+      .cell("10^10x");
+  table.row()
+      .cell("PDE solves (per event vs once)")
+      .cell(std::to_string(baseline_solves))
+      .cell(std::to_string(phase1_solves) + " (offline, once)")
+      .cell(static_cast<double>(baseline_solves) /
+                static_cast<double>(phase1_solves),
+            1)
+      .cell("~810x");
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("baseline CG: %zu iterations, converged=%d, "
+              "MAP agreement with the exact online solve: rel. err %.2e\n",
+              baseline.cg_iterations, baseline.converged ? 1 : 0, map_err);
+  std::printf("\nshape check: both speedup rows must be >> 1 and grow with "
+              "problem size (the paper's factors arise at 10^9 parameters "
+              "on GPUs).\n");
+  return 0;
+}

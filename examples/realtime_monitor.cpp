@@ -1,0 +1,97 @@
+// "Deployment entirely without any HPC infrastructure" (paper SecVIII):
+// once the data-to-QoI operator Q and the QoI credible intervals are
+// precomputed, forecasting reduces to one small dense matvec per data
+// window — runnable on any machine in the warning center.
+//
+//   $ ./examples/realtime_monitor
+//
+// This example builds the twin once (standing in for the offline HPC
+// phases), exports Q, then simulates a real-time monitoring loop: pressure
+// observations stream in one interval at a time; at each step the monitor
+// forecasts final wave heights from the data received SO FAR (later
+// observations zero-padded), showing how the forecast sharpens as the wave
+// field evolves — the early-warning latency story of the paper.
+
+#include <cstdio>
+
+#include "core/digital_twin.hpp"
+#include "linalg/blas.hpp"
+#include "util/io.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace tsunami;
+
+  // --- offline (in production: done once on the HPC system) ---------------
+  TwinConfig config = TwinConfig::tiny();
+  DigitalTwin twin(config);
+  RuptureConfig rupture_cfg;
+  Asperity asperity;
+  asperity.x0 = 0.3 * config.bathymetry.length_x;
+  asperity.y0 = 0.5 * config.bathymetry.length_y;
+  asperity.rx = 16e3;
+  asperity.ry = 24e3;
+  asperity.peak_uplift = 2.2;
+  rupture_cfg.asperities.push_back(asperity);
+  rupture_cfg.hypocenter_x = asperity.x0;
+  rupture_cfg.hypocenter_y = asperity.y0;
+  const RuptureScenario scenario(rupture_cfg);
+  Rng rng(3);
+  const SyntheticEvent event = twin.synthesize(scenario, rng);
+  twin.run_offline(event.noise);
+
+  // The exported operator: a dense (Nq Nt) x (Nd Nt) matrix. In production
+  // this is all the warning center needs — ship it through the binary
+  // archive format and reload it as the "deployed" copy.
+  std::printf("=== Real-time monitor (no-HPC deployment mode) ===\n");
+  const std::string q_path = "artifacts_q_operator.bin";
+  save_matrix(q_path, twin.predictor().data_to_qoi());
+  const Matrix q_op = load_matrix(q_path);  // what the warning center runs
+  std::remove(q_path.c_str());
+  std::printf("exported + reloaded data-to-QoI operator Q: %zu x %zu (%s)\n\n",
+              q_op.rows(), q_op.cols(),
+              format_bytes(static_cast<double>(q_op.size()) * 8).c_str());
+
+  // --- online monitoring loop ----------------------------------------------
+  const std::size_t nt = twin.time_grid().num_intervals;
+  const std::size_t nd = twin.sensors().num_outputs();
+  const std::size_t nq = twin.gauges().num_outputs();
+
+  std::vector<double> window(nd * nt, 0.0);  // zero-padded future
+  TextTable table({"t [s]", "update latency", "peak forecast eta [m]",
+                   "peak true eta [m] (final)"});
+
+  double peak_true = 0.0;
+  for (double q : event.q_true) peak_true = std::max(peak_true, q);
+
+  for (std::size_t arrived = 1; arrived <= nt; ++arrived) {
+    // New observation block arrives from the cabled array.
+    for (std::size_t j = 0; j < nd; ++j) {
+      const std::size_t idx = (arrived - 1) * nd + j;
+      window[idx] = event.d_obs[idx];
+    }
+    // Forecast from the data so far: one dense matvec.
+    Stopwatch watch;
+    std::vector<double> q(nq * nt);
+    gemv(q_op, window, std::span<double>(q));
+    const double latency = watch.seconds();
+
+    double peak = 0.0;
+    for (double v : q) peak = std::max(peak, v);
+    if (arrived % 2 == 0 || arrived == nt) {
+      table.row()
+          .cell(static_cast<double>(arrived) *
+                    twin.time_grid().interval(),
+                0)
+          .cell(format_duration(latency))
+          .cell(peak, 3)
+          .cell(peak_true, 3);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Each update is a single %zux%zu matvec -- microseconds on a "
+              "laptop, no PDE solves, no cluster (paper SecVIII).\n",
+              q_op.rows(), q_op.cols());
+  return 0;
+}

@@ -1,0 +1,72 @@
+#pragma once
+
+// Phase 2: the data-space Hessian.
+//
+// The Sherman-Morrison-Woodbury identity moves the inverse operator from the
+// ~billion-dimensional parameter space to the data space (SecV-B):
+//   Gamma_post = Gamma_prior - G* K^{-1} G,     G = F Gamma_prior,
+//   K = Gamma_noise + F Gamma_prior F*          ("data-space Hessian"),
+// and the MAP point becomes  m_map = G* K^{-1} d_obs.
+//
+// K is (Nd Nt) x (Nd Nt) dense; each column is one FFT-based Hessian matvec
+// on a unit vector (Table III: "form K: 252k x 24 ms"), batched here through
+// the multi-RHS Toeplitz engine, then Cholesky-factorized (cuSOLVERMp ->
+// DenseCholesky).
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "linalg/dense.hpp"
+#include "linalg/dense_cholesky.hpp"
+#include "prior/matern_prior.hpp"
+#include "toeplitz/block_toeplitz.hpp"
+#include "util/timer.hpp"
+
+namespace tsunami {
+
+/// Gaussian observation-noise model: Gamma_noise = sigma^2 I.
+struct NoiseModel {
+  double sigma = 1.0;
+  [[nodiscard]] double variance() const { return sigma * sigma; }
+};
+
+/// Relative noise calibration: sigma = level * max_i |d_i| (the paper's "1%
+/// relative added noise").
+[[nodiscard]] NoiseModel relative_noise(std::span<const double> d,
+                                        double level);
+
+class DataSpaceHessian {
+ public:
+  /// Forms and factorizes K. `batch` controls multi-RHS matvec batching.
+  /// Records "form K" / "factorize K" timer samples.
+  DataSpaceHessian(const BlockToeplitz& f, const MaternPrior& prior,
+                   const NoiseModel& noise, std::size_t batch = 64,
+                   TimerRegistry* timers = nullptr);
+
+  [[nodiscard]] std::size_t dim() const { return k_.rows(); }
+  [[nodiscard]] const Matrix& matrix() const { return k_; }
+  [[nodiscard]] const DenseCholesky& cholesky() const { return *chol_; }
+  [[nodiscard]] const NoiseModel& noise() const { return noise_; }
+
+  /// y = K^{-1} x.
+  void solve(std::span<const double> x, std::span<double> y) const;
+
+  /// Asymmetry of the formed K before symmetrization: max |K - K^T| /
+  /// max |K|; a structural check on F/F* consistency (should be ~1e-14).
+  [[nodiscard]] double asymmetry() const { return asymmetry_; }
+
+ private:
+  Matrix k_;
+  std::unique_ptr<DenseCholesky> chol_;
+  NoiseModel noise_;
+  double asymmetry_ = 0.0;
+};
+
+/// B = F Gamma_prior A for a tall matrix A given column-wise (space-time
+/// rows), batched: used for K columns, the V = F Gq* matrix of Phase 3, and
+/// posterior probing. `a_cols` has input_dim rows.
+void apply_f_prior(const BlockToeplitz& f, const MaternPrior& prior,
+                   const Matrix& a_cols, Matrix& out_cols);
+
+}  // namespace tsunami

@@ -1,0 +1,159 @@
+#include "core/digital_twin.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+
+namespace tsunami {
+
+TwinConfig TwinConfig::tiny() {
+  TwinConfig c;
+  c.bathymetry = flat_basin(2000.0, 60e3, 80e3);
+  c.mesh_nx = 6;
+  c.mesh_ny = 8;
+  c.mesh_nz = 2;
+  c.order = 2;
+  c.num_sensors = 6;
+  c.num_gauges = 3;
+  c.num_intervals = 12;
+  c.observation_dt = 5.0;
+  c.prior.correlation_length = 2.0e4;
+  // Prior marginal std dev of the seafloor velocity: a Mw ~8 rupture moves
+  // the seafloor at O(0.1) m/s, so 0.2 m/s is a weakly informative choice.
+  c.prior.sigma = 0.2;
+  return c;
+}
+
+DigitalTwin::DigitalTwin(const TwinConfig& config)
+    : cfg_(config), bathy_(config.bathymetry) {
+  mesh_ = std::make_unique<HexMesh>(bathy_, cfg_.mesh_nx, cfg_.mesh_ny,
+                                    cfg_.mesh_nz);
+  model_ = std::make_unique<AcousticGravityModel>(*mesh_, cfg_.order,
+                                                  cfg_.physics, cfg_.kernel);
+
+  // Sensors offshore over the source region (seaward 2/3 of the margin);
+  // gauges near the coast (landward side), where early warning matters.
+  const double lx = mesh_->length_x(), ly = mesh_->length_y();
+  sensors_ = std::make_unique<ObservationOperator>(
+      ObservationOperator::seafloor_sensors(
+          *model_,
+          sensor_grid(cfg_.num_sensors, 0.08 * lx, 0.62 * lx, 0.06 * ly,
+                      0.94 * ly)));
+  gauges_ = std::make_unique<ObservationOperator>(
+      ObservationOperator::surface_gauges(
+          *model_, sensor_grid(cfg_.num_gauges, 0.78 * lx, 0.92 * lx,
+                               0.10 * ly, 0.90 * ly)));
+
+  // Temporal grid: substep count from the CFL bound.
+  const double dt_cfl = model_->cfl_timestep(cfg_.cfl);
+  const auto substeps = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(cfg_.observation_dt / dt_cfl)));
+  time_.num_intervals = cfg_.num_intervals;
+  time_.substeps = substeps;
+  time_.dt = cfg_.observation_dt / static_cast<double>(substeps);
+
+  // Spatial prior on the seafloor parameter grid; nominal node spacings.
+  const auto& src = model_->source_map();
+  const double hx = lx / static_cast<double>(src.grid_nx() - 1);
+  const double hy = ly / static_cast<double>(src.grid_ny() - 1);
+  prior_ = std::make_unique<MaternPrior>(src.grid_nx(), src.grid_ny(), hx, hy,
+                                         cfg_.prior);
+}
+
+void DigitalTwin::run_phase1() {
+  {
+    ScopedTimer t(timers_, "phase1: form F");
+    f_ = build_p2o_map(*model_, *sensors_, time_, &timers_);
+  }
+  {
+    ScopedTimer t(timers_, "phase1: form Fq");
+    fq_ = build_p2o_map(*model_, *gauges_, time_, &timers_);
+  }
+}
+
+void DigitalTwin::run_phase2(const NoiseModel& noise) {
+  if (!f_.toeplitz) throw std::logic_error("run_phase2: phase 1 not run");
+  ScopedTimer t(timers_, "phase2: form+factorize K");
+  hessian_ = std::make_unique<DataSpaceHessian>(*f_.toeplitz, *prior_, noise,
+                                                64, &timers_);
+  posterior_ = std::make_unique<Posterior>(*f_.toeplitz, *prior_, *hessian_);
+}
+
+void DigitalTwin::run_phase3() {
+  if (!hessian_) throw std::logic_error("run_phase3: phase 2 not run");
+  ScopedTimer t(timers_, "phase3: QoI covariance + Q");
+  predictor_ = std::make_unique<QoiPredictor>(*f_.toeplitz, *fq_.toeplitz,
+                                              *prior_, *hessian_, &timers_);
+}
+
+SyntheticEvent DigitalTwin::synthesize(const RuptureScenario& scenario,
+                                       Rng& rng) const {
+  SyntheticEvent ev;
+  ev.m_true = scenario.sample(model_->source_map(), time_);
+
+  std::vector<Matrix> series;
+  forward_multi_observe(*model_, {sensors_.get(), gauges_.get()}, time_,
+                        ev.m_true, series);
+  const std::size_t nt = time_.num_intervals;
+  const std::size_t nd = sensors_->num_outputs();
+  const std::size_t nq = gauges_->num_outputs();
+  ev.d_true.resize(nt * nd);
+  for (std::size_t i = 0; i < nt; ++i)
+    for (std::size_t s = 0; s < nd; ++s)
+      ev.d_true[i * nd + s] = series[0](i, s);
+  ev.q_true.resize(nt * nq);
+  for (std::size_t i = 0; i < nt; ++i)
+    for (std::size_t g = 0; g < nq; ++g)
+      ev.q_true[i * nq + g] = series[1](i, g);
+
+  ev.noise = relative_noise(ev.d_true, cfg_.noise_level);
+  ev.d_obs = ev.d_true;
+  for (auto& v : ev.d_obs) v += ev.noise.sigma * rng.normal();
+  return ev;
+}
+
+InversionResult DigitalTwin::infer(std::span<const double> d_obs) const {
+  if (!posterior_ || !predictor_)
+    throw std::logic_error("infer: offline phases not complete");
+  InversionResult out;
+  {
+    Stopwatch w;
+    out.m_map = posterior_->map_point(d_obs);
+    out.infer_seconds = w.seconds();
+  }
+  {
+    Stopwatch w;
+    out.forecast = predictor_->predict(d_obs);
+    out.predict_seconds = w.seconds();
+  }
+  return out;
+}
+
+std::vector<double> DigitalTwin::displacement_field(
+    std::span<const double> m) const {
+  const std::size_t nm = model_->source_map().parameter_dim();
+  const std::size_t nt = time_.num_intervals;
+  if (m.size() != nm * nt)
+    throw std::invalid_argument("displacement_field: size mismatch");
+  std::vector<double> b(nm, 0.0);
+  const double dt = time_.interval();
+  for (std::size_t i = 0; i < nt; ++i)
+    for (std::size_t r = 0; r < nm; ++r) b[r] += dt * m[i * nm + r];
+  return b;
+}
+
+double DigitalTwin::relative_error(std::span<const double> estimate,
+                                   std::span<const double> truth) {
+  if (estimate.size() != truth.size())
+    throw std::invalid_argument("relative_error: size mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = estimate[i] - truth[i];
+    num += d * d;
+    den += truth[i] * truth[i];
+  }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace tsunami

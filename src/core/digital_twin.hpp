@@ -1,0 +1,155 @@
+#pragma once
+
+// The digital twin: end-to-end orchestration of the paper's four phases.
+//
+//   Phase 1 (offline): Nd + Nq adjoint wave propagations -> F, Fq.
+//   Phase 2 (offline): prior solves + FFT Hessian matvecs -> K; Cholesky.
+//   Phase 3 (offline): Gamma_post(q) and the data-to-QoI map Q.
+//   Phase 4 (online) : given d_obs, infer m_map and forecast q with 95% CIs
+//                      in real time (no PDE solves).
+//
+// The twin also synthesizes ground-truth experiments: a kinematic rupture
+// scenario drives the forward model to produce noisy sensor data and true
+// QoI series (the paper's Fig. 3/4 setup with 1% relative noise).
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/baseline_cg.hpp"
+#include "core/data_space_hessian.hpp"
+#include "core/forecast.hpp"
+#include "core/p2o_builder.hpp"
+#include "core/posterior.hpp"
+#include "mesh/bathymetry.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "prior/matern_prior.hpp"
+#include "rupture/scenario.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "wave/acoustic_gravity.hpp"
+
+namespace tsunami {
+
+struct TwinConfig {
+  // Mesh and discretization.
+  BathymetryConfig bathymetry{};
+  std::size_t mesh_nx = 12, mesh_ny = 18, mesh_nz = 3;
+  std::size_t order = 2;
+  PhysicalConstants physics{};
+  KernelVariant kernel = KernelVariant::FusedPA;
+  double cfl = 0.3;
+
+  // Observations.
+  std::size_t num_sensors = 12;   ///< seafloor pressure sensors (paper: 600)
+  std::size_t num_gauges = 5;     ///< QoI forecast locations (paper: 21)
+  std::size_t num_intervals = 30; ///< Nt (paper: 420 at 1 Hz)
+  double observation_dt = 4.0;    ///< seconds between observations
+
+  // Inference.
+  MaternPriorConfig prior{};
+  double noise_level = 0.01;      ///< relative noise (paper: 1%)
+
+  /// A small config that keeps unit tests fast.
+  static TwinConfig tiny();
+};
+
+/// Synthetic ground truth + observations for one rupture scenario.
+struct SyntheticEvent {
+  std::vector<double> m_true;   ///< time-major true seafloor velocity
+  std::vector<double> d_true;   ///< noiseless sensor data
+  std::vector<double> d_obs;    ///< noisy observations
+  std::vector<double> q_true;   ///< true QoI (wave heights at gauges)
+  NoiseModel noise;
+};
+
+/// Online inversion output (Phase 4).
+struct InversionResult {
+  std::vector<double> m_map;     ///< inferred seafloor velocity (time-major)
+  Forecast forecast;             ///< QoI prediction with 95% CIs
+  double infer_seconds = 0.0;    ///< Table III "infer parameters m_map"
+  double predict_seconds = 0.0;  ///< Table III "predict QoI q_map"
+};
+
+class DigitalTwin {
+ public:
+  explicit DigitalTwin(const TwinConfig& config);
+
+  // ---- offline phases ------------------------------------------------------
+  /// Phase 1: build F and Fq (Nd + Nq adjoint propagations).
+  void run_phase1();
+  /// Phase 2: form and factorize the data-space Hessian. Requires phase 1.
+  void run_phase2(const NoiseModel& noise);
+  /// Phase 3: QoI covariance and data-to-QoI map. Requires phase 2.
+  void run_phase3();
+
+  /// All offline phases against a synthetic event's calibrated noise.
+  void run_offline(const NoiseModel& noise) {
+    run_phase1();
+    run_phase2(noise);
+    run_phase3();
+  }
+
+  // ---- experiment synthesis ------------------------------------------------
+  /// Forward-model a rupture scenario into noisy observations (independent of
+  /// the offline phases; uses PDE solves).
+  [[nodiscard]] SyntheticEvent synthesize(const RuptureScenario& scenario,
+                                          Rng& rng) const;
+
+  // ---- online phase --------------------------------------------------------
+  /// Phase 4: real-time inference + forecasting. Requires phases 1-3.
+  [[nodiscard]] InversionResult infer(std::span<const double> d_obs) const;
+
+  // ---- diagnostics ---------------------------------------------------------
+  /// Time-integrated seafloor displacement b(x) = int m dt (Fig. 3 fields).
+  [[nodiscard]] std::vector<double> displacement_field(
+      std::span<const double> m) const;
+
+  /// Relative L2 error between two parameter-space fields.
+  [[nodiscard]] static double relative_error(std::span<const double> estimate,
+                                             std::span<const double> truth);
+
+  // ---- access --------------------------------------------------------------
+  [[nodiscard]] const TwinConfig& config() const { return cfg_; }
+  [[nodiscard]] const HexMesh& mesh() const { return *mesh_; }
+  [[nodiscard]] const AcousticGravityModel& model() const { return *model_; }
+  [[nodiscard]] const ObservationOperator& sensors() const { return *sensors_; }
+  [[nodiscard]] const ObservationOperator& gauges() const { return *gauges_; }
+  [[nodiscard]] const TimeGrid& time_grid() const { return time_; }
+  [[nodiscard]] const MaternPrior& prior() const { return *prior_; }
+  [[nodiscard]] const P2oMap& p2o() const { return f_; }
+  [[nodiscard]] const P2oMap& p2q() const { return fq_; }
+  [[nodiscard]] const DataSpaceHessian& hessian() const { return *hessian_; }
+  [[nodiscard]] const Posterior& posterior() const { return *posterior_; }
+  [[nodiscard]] const QoiPredictor& predictor() const { return *predictor_; }
+  [[nodiscard]] TimerRegistry& timers() { return timers_; }
+  [[nodiscard]] const TimerRegistry& timers() const { return timers_; }
+
+  [[nodiscard]] std::size_t parameter_dim() const {
+    return model_->source_map().parameter_dim() * time_.num_intervals;
+  }
+  [[nodiscard]] std::size_t data_dim() const {
+    return cfg_.num_sensors * time_.num_intervals;
+  }
+
+ private:
+  TwinConfig cfg_;
+  Bathymetry bathy_;
+  std::unique_ptr<HexMesh> mesh_;
+  std::unique_ptr<AcousticGravityModel> model_;
+  std::unique_ptr<ObservationOperator> sensors_;
+  std::unique_ptr<ObservationOperator> gauges_;
+  TimeGrid time_;
+  std::unique_ptr<MaternPrior> prior_;
+
+  P2oMap f_;
+  P2oMap fq_;
+  std::unique_ptr<DataSpaceHessian> hessian_;
+  std::unique_ptr<Posterior> posterior_;
+  std::unique_ptr<QoiPredictor> predictor_;
+  TimerRegistry timers_;
+};
+
+}  // namespace tsunami

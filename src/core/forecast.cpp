@@ -1,0 +1,80 @@
+#include "core/forecast.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+
+namespace tsunami {
+
+QoiPredictor::QoiPredictor(const BlockToeplitz& f, const BlockToeplitz& fq,
+                           const MaternPrior& prior,
+                           const DataSpaceHessian& hessian,
+                           TimerRegistry* timers)
+    : fq_(fq), nq_(fq.block_rows()), nt_(fq.num_blocks()) {
+  const std::size_t nqoi = fq.output_dim();
+
+  Stopwatch cov_watch;
+  // Columns of Fq^T on unit vectors, then V = F Gamma_prior Fq^T and
+  // W = Fq Gamma_prior Fq^T.
+  Matrix units(nqoi, nqoi);
+  for (std::size_t v = 0; v < nqoi; ++v) units(v, v) = 1.0;
+  Matrix fqt_units;  // (Nm Nt) x nqoi
+  fq.apply_transpose_many(units, fqt_units);
+
+  Matrix v_mat;  // ndata x nqoi
+  apply_f_prior(f, prior, fqt_units, v_mat);
+  Matrix w_mat;  // nqoi x nqoi
+  apply_f_prior(fq, prior, fqt_units, w_mat);
+
+  // K^{-1} V.
+  Matrix kinv_v(v_mat);
+  hessian.cholesky().solve_in_place(kinv_v);
+
+  // Gamma_post(q) = W - V^T K^{-1} V (symmetrized against roundoff).
+  cov_q_ = Matrix(nqoi, nqoi);
+  gemm_tn(v_mat, kinv_v, cov_q_);
+  for (std::size_t i = 0; i < nqoi; ++i)
+    for (std::size_t j = 0; j < nqoi; ++j)
+      cov_q_(i, j) = w_mat(i, j) - cov_q_(i, j);
+  for (std::size_t i = 0; i < nqoi; ++i)
+    for (std::size_t j = i + 1; j < nqoi; ++j) {
+      const double s = 0.5 * (cov_q_(i, j) + cov_q_(j, i));
+      cov_q_(i, j) = s;
+      cov_q_(j, i) = s;
+    }
+  std_q_.resize(nqoi);
+  for (std::size_t i = 0; i < nqoi; ++i)
+    std_q_[i] = std::sqrt(std::max(0.0, cov_q_(i, i)));
+  if (timers) timers->add("compute Gamma_post(q)", cov_watch.seconds());
+
+  Stopwatch q_watch;
+  // Q = V^T K^{-1} = (K^{-1} V)^T (K symmetric).
+  q_map_op_ = kinv_v.transposed();
+  if (timers) timers->add("compute Q", q_watch.seconds());
+}
+
+Forecast QoiPredictor::predict(std::span<const double> d_obs) const {
+  if (d_obs.size() != data_dim())
+    throw std::invalid_argument("QoiPredictor::predict: data size mismatch");
+  Forecast fc;
+  fc.num_gauges = nq_;
+  fc.num_times = nt_;
+  fc.mean.resize(qoi_dim());
+  gemv(q_map_op_, d_obs, std::span<double>(fc.mean));
+  fc.stddev = std_q_;
+  fc.lower95.resize(qoi_dim());
+  fc.upper95.resize(qoi_dim());
+  for (std::size_t i = 0; i < qoi_dim(); ++i) {
+    fc.lower95[i] = fc.mean[i] - 1.96 * std_q_[i];
+    fc.upper95[i] = fc.mean[i] + 1.96 * std_q_[i];
+  }
+  return fc;
+}
+
+void QoiPredictor::apply_fq_mean(std::span<const double> m,
+                                 std::span<double> q) const {
+  fq_.apply(m, q);
+}
+
+}  // namespace tsunami

@@ -1,0 +1,34 @@
+#pragma once
+
+// Phase 1 of the offline-online decomposition: precompute the block Toeplitz
+// p2o map F (one adjoint wave propagation per sensor) and p2q map Fq (one per
+// QoI forecast location). Table III rows "form F" / "form Fq".
+
+#include <memory>
+
+#include "toeplitz/block_toeplitz.hpp"
+#include "util/timer.hpp"
+#include "wave/adjoint.hpp"
+#include "wave/observation.hpp"
+
+namespace tsunami {
+
+/// Result of Phase 1 for one observation operator: the Toeplitz map plus the
+/// raw first-block-column storage (kept for dense reference paths/tests).
+struct P2oMap {
+  std::unique_ptr<BlockToeplitz> toeplitz;
+  std::vector<double> blocks;  ///< [(k * nrows + s) * Nm + r]
+  std::size_t nrows = 0;       ///< Nd (or Nq)
+  std::size_t ncols = 0;       ///< Nm
+  std::size_t nt = 0;          ///< Nt
+};
+
+/// Runs `obs.num_outputs()` adjoint propagations (the paper parallelizes
+/// these across the machine; they are embarrassingly parallel) and assembles
+/// the block Toeplitz map. Records "Setup"/"Adjoint p2o" timer samples.
+[[nodiscard]] P2oMap build_p2o_map(const AcousticGravityModel& model,
+                                   const ObservationOperator& obs,
+                                   const TimeGrid& grid,
+                                   TimerRegistry* timers = nullptr);
+
+}  // namespace tsunami

@@ -1,0 +1,99 @@
+#include "core/posterior.hpp"
+
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+
+namespace tsunami {
+
+Posterior::Posterior(const BlockToeplitz& f, const MaternPrior& prior,
+                     const DataSpaceHessian& hessian)
+    : f_(f), prior_(prior), hess_(hessian) {
+  if (prior_.dim() != f_.block_cols())
+    throw std::invalid_argument("Posterior: prior/spatial dim mismatch");
+  if (hess_.dim() != f_.output_dim())
+    throw std::invalid_argument("Posterior: Hessian/data dim mismatch");
+}
+
+void Posterior::apply_gstar(std::span<const double> y,
+                            std::span<double> m) const {
+  std::vector<double> ft(parameter_dim());
+  f_.apply_transpose(y, std::span<double>(ft));
+  prior_.apply_time_blocks(ft, m, time_dim());
+}
+
+void Posterior::apply_g(std::span<const double> v, std::span<double> d) const {
+  std::vector<double> gv(parameter_dim());
+  prior_.apply_time_blocks(v, std::span<double>(gv), time_dim());
+  f_.apply(gv, d);
+}
+
+std::vector<double> Posterior::map_point(std::span<const double> d_obs) const {
+  std::vector<double> y(data_dim());
+  hess_.solve(d_obs, std::span<double>(y));
+  std::vector<double> m(parameter_dim());
+  apply_gstar(y, std::span<double>(m));
+  return m;
+}
+
+void Posterior::covariance_apply(std::span<const double> x,
+                                 std::span<double> y) const {
+  if (x.size() != parameter_dim() || y.size() != parameter_dim())
+    throw std::invalid_argument("Posterior::covariance_apply: size mismatch");
+  // y = Gamma_prior x - G* K^{-1} G x.
+  std::vector<double> gx(data_dim());
+  apply_g(x, std::span<double>(gx));
+  std::vector<double> kinv_gx(data_dim());
+  hess_.solve(gx, std::span<double>(kinv_gx));
+  std::vector<double> corr(parameter_dim());
+  apply_gstar(kinv_gx, std::span<double>(corr));
+  prior_.apply_time_blocks(x, y, time_dim());
+  axpy(-1.0, corr, y);
+}
+
+double Posterior::pointwise_variance(std::size_t r, std::size_t t) const {
+  if (r >= spatial_dim() || t >= time_dim())
+    throw std::out_of_range("Posterior::pointwise_variance");
+  // g = G e_{(r,t)}: prior applied to a spatial unit vector in block t.
+  std::vector<double> unit(spatial_dim(), 0.0);
+  unit[r] = 1.0;
+  std::vector<double> prior_col(spatial_dim());
+  prior_.apply(unit, std::span<double>(prior_col));
+  std::vector<double> v(parameter_dim(), 0.0);
+  std::copy(prior_col.begin(), prior_col.end(),
+            v.begin() + static_cast<std::ptrdiff_t>(t * spatial_dim()));
+  std::vector<double> g(data_dim());
+  f_.apply(v, std::span<double>(g));
+  std::vector<double> kg(data_dim());
+  hess_.solve(g, std::span<double>(kg));
+  const double correction = dot(g, kg);
+  return prior_.pointwise_variance(r) - correction;
+}
+
+std::vector<double> Posterior::sample(std::span<const double> m_map,
+                                      Rng& rng) const {
+  if (m_map.size() != parameter_dim())
+    throw std::invalid_argument("Posterior::sample: m_map size mismatch");
+  // Prior draw, block-iid in time.
+  std::vector<double> m_pr(parameter_dim());
+  for (std::size_t t = 0; t < time_dim(); ++t) {
+    const auto block = prior_.sample(rng);
+    std::copy(block.begin(), block.end(),
+              m_pr.begin() + static_cast<std::ptrdiff_t>(t * spatial_dim()));
+  }
+  // Synthetic data residual: F m_pr + eps.
+  std::vector<double> d(data_dim());
+  f_.apply(m_pr, std::span<double>(d));
+  for (auto& v : d) v += hess_.noise().sigma * rng.normal();
+  std::vector<double> kd(data_dim());
+  hess_.solve(d, std::span<double>(kd));
+  std::vector<double> corr(parameter_dim());
+  apply_gstar(kd, std::span<double>(corr));
+
+  std::vector<double> out(m_map.begin(), m_map.end());
+  axpy(1.0, m_pr, std::span<double>(out));
+  axpy(-1.0, corr, std::span<double>(out));
+  return out;
+}
+
+}  // namespace tsunami

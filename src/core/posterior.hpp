@@ -1,0 +1,66 @@
+#pragma once
+
+// The Gaussian posterior N(m_map, Gamma_post) in SMW form (SecV-B):
+//   m_map      = G* K^{-1} d_obs,
+//   Gamma_post = Gamma_prior - G* K^{-1} G,
+// with G = F Gamma_prior applied matrix-free through the FFT Toeplitz engine
+// and the prior's banded solves — no PDE solves anywhere (the offline-online
+// separation that makes Phase 4 real-time).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/data_space_hessian.hpp"
+#include "prior/matern_prior.hpp"
+#include "toeplitz/block_toeplitz.hpp"
+#include "util/rng.hpp"
+
+namespace tsunami {
+
+class Posterior {
+ public:
+  Posterior(const BlockToeplitz& f, const MaternPrior& prior,
+            const DataSpaceHessian& hessian);
+
+  [[nodiscard]] std::size_t parameter_dim() const { return f_.input_dim(); }
+  [[nodiscard]] std::size_t data_dim() const { return f_.output_dim(); }
+  [[nodiscard]] std::size_t spatial_dim() const { return f_.block_cols(); }
+  [[nodiscard]] std::size_t time_dim() const { return f_.num_blocks(); }
+
+  /// G* y = Gamma_prior F^T y  (data space -> parameter space).
+  void apply_gstar(std::span<const double> y, std::span<double> m) const;
+
+  /// G v = F Gamma_prior v  (parameter space -> data space).
+  void apply_g(std::span<const double> v, std::span<double> d) const;
+
+  /// MAP point / posterior mean: m_map = G* K^{-1} d_obs.
+  [[nodiscard]] std::vector<double> map_point(
+      std::span<const double> d_obs) const;
+
+  /// y = Gamma_post x  (one "billion-parameter inverse solve" per call in
+  /// the paper's phrasing; here two Toeplitz matvecs + prior solves + one
+  /// Cholesky solve).
+  void covariance_apply(std::span<const double> x, std::span<double> y) const;
+
+  /// Pointwise posterior variance of parameter (spatial node r, interval t):
+  /// (Gamma_post)_{(r,t),(r,t)} = (Gamma_prior)_rr - g^T K^{-1} g.
+  [[nodiscard]] double pointwise_variance(std::size_t r, std::size_t t) const;
+
+  /// Exact posterior sample via Matheron's update:
+  ///   m = m_map + m_pr - G* K^{-1} (F m_pr + eps),
+  /// with m_pr ~ N(0, Gamma_prior), eps ~ N(0, Gamma_noise).
+  [[nodiscard]] std::vector<double> sample(std::span<const double> m_map,
+                                           Rng& rng) const;
+
+  [[nodiscard]] const BlockToeplitz& forward_map() const { return f_; }
+  [[nodiscard]] const MaternPrior& prior() const { return prior_; }
+  [[nodiscard]] const DataSpaceHessian& hessian() const { return hess_; }
+
+ private:
+  const BlockToeplitz& f_;
+  const MaternPrior& prior_;
+  const DataSpaceHessian& hess_;
+};
+
+}  // namespace tsunami

@@ -1,0 +1,64 @@
+#include "fem/basis.hpp"
+
+#include <stdexcept>
+
+namespace tsunami {
+
+std::vector<double> lagrange_values(const std::vector<double>& nodes,
+                                    double x) {
+  const std::size_t n = nodes.size();
+  std::vector<double> vals(n, 1.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (b == a) continue;
+      vals[a] *= (x - nodes[b]) / (nodes[a] - nodes[b]);
+    }
+  }
+  return vals;
+}
+
+std::vector<double> lagrange_derivatives(const std::vector<double>& nodes,
+                                         double x) {
+  const std::size_t n = nodes.size();
+  std::vector<double> der(n, 0.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    double sum = 0.0;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (b == a) continue;
+      double prod = 1.0 / (nodes[a] - nodes[b]);
+      for (std::size_t c = 0; c < n; ++c) {
+        if (c == a || c == b) continue;
+        prod *= (x - nodes[c]) / (nodes[a] - nodes[c]);
+      }
+      sum += prod;
+    }
+    der[a] = sum;
+  }
+  return der;
+}
+
+BasisTables::BasisTables(std::size_t order_in)
+    : order(order_in),
+      n1(order_in + 1),
+      q(order_in),
+      gll(gauss_lobatto(order_in + 1)),
+      gl(gauss_legendre(order_in)),
+      interp(order_in, order_in + 1),
+      deriv(order_in, order_in + 1),
+      interp_gll(order_in + 1, order_in + 1) {
+  if (order < 1) throw std::invalid_argument("BasisTables: order must be >= 1");
+  for (std::size_t l = 0; l < q; ++l) {
+    const auto vals = lagrange_values(gll.points, gl.points[l]);
+    const auto ders = lagrange_derivatives(gll.points, gl.points[l]);
+    for (std::size_t a = 0; a < n1; ++a) {
+      interp(l, a) = vals[a];
+      deriv(l, a) = ders[a];
+    }
+  }
+  for (std::size_t l = 0; l < n1; ++l) {
+    const auto vals = lagrange_values(gll.points, gll.points[l]);
+    for (std::size_t a = 0; a < n1; ++a) interp_gll(l, a) = vals[a];
+  }
+}
+
+}  // namespace tsunami

@@ -1,0 +1,47 @@
+#pragma once
+
+// 1-D Lagrange bases and the interpolation/differentiation matrices used by
+// the sum-factorized (partial assembly) kernels.
+//
+// Pressure basis: Lagrange polynomials on GLL nodes of order p (n1 = p+1
+// nodes). Velocity basis: Lagrange polynomials on GL nodes of order p-1
+// (q = p nodes), which coincide with the volume quadrature points, so the
+// velocity mass matrix is diagonal (collocation).
+
+#include <cstddef>
+#include <vector>
+
+#include "fem/quadrature.hpp"
+#include "linalg/dense.hpp"
+
+namespace tsunami {
+
+/// Values of the Lagrange basis {l_a} on `nodes` evaluated at `x`.
+[[nodiscard]] std::vector<double> lagrange_values(
+    const std::vector<double>& nodes, double x);
+
+/// Derivatives of the Lagrange basis {l_a} on `nodes` evaluated at `x`.
+[[nodiscard]] std::vector<double> lagrange_derivatives(
+    const std::vector<double>& nodes, double x);
+
+/// All tables needed by the element kernels for pressure order p.
+struct BasisTables {
+  explicit BasisTables(std::size_t order);
+
+  std::size_t order;   ///< pressure polynomial order p
+  std::size_t n1;      ///< pressure nodes per dim (p+1, GLL)
+  std::size_t q;       ///< velocity nodes / quad points per dim (p, GL)
+
+  QuadratureRule gll;  ///< n1-point GLL rule (pressure nodes + mass quad)
+  QuadratureRule gl;   ///< q-point GL rule (velocity nodes + volume quad)
+
+  /// B(l, a) = value of pressure basis a at GL point l  (q x n1).
+  Matrix interp;
+  /// D(l, a) = derivative of pressure basis a at GL point l  (q x n1).
+  Matrix deriv;
+  /// Bgll(l, a) = value of pressure basis a at GLL point l (identity; kept
+  /// for clarity in the lumped-mass setup).
+  Matrix interp_gll;
+};
+
+}  // namespace tsunami

@@ -1,0 +1,59 @@
+#include "fem/boundary_ops.hpp"
+
+#include <stdexcept>
+
+namespace tsunami {
+
+BottomSourceMap::BottomSourceMap(const H1Space& space)
+    : space_(space),
+      np_(space.num_dofs()),
+      nx1_(space.nx1()),
+      ny1_(space.ny1()) {
+  const auto diag = boundary_mass_diagonal(space, BoundaryKind::Bottom);
+  // Seafloor nodes are the plane c = 0: the first nx1*ny1 global DOFs.
+  weights_.assign(diag.begin(),
+                  diag.begin() + static_cast<std::ptrdiff_t>(nx1_ * ny1_));
+}
+
+void BottomSourceMap::apply(std::span<const double> m,
+                            std::span<double> rhs) const {
+  if (m.size() != weights_.size() || rhs.size() != np_)
+    throw std::invalid_argument("BottomSourceMap::apply: size mismatch");
+  std::fill(rhs.begin(), rhs.end(), 0.0);
+  for (std::size_t r = 0; r < weights_.size(); ++r)
+    rhs[r] = weights_[r] * m[r];
+}
+
+void BottomSourceMap::apply_transpose(std::span<const double> y,
+                                      std::span<double> out) const {
+  if (y.size() != np_ || out.size() != weights_.size())
+    throw std::invalid_argument(
+        "BottomSourceMap::apply_transpose: size mismatch");
+  for (std::size_t r = 0; r < weights_.size(); ++r)
+    out[r] = weights_[r] * y[r];
+}
+
+std::array<double, 2> BottomSourceMap::node_xy(std::size_t r) const {
+  const std::size_t a = r % nx1_;
+  const std::size_t b = r / nx1_;
+  const auto xyz = space_.node_coords(a, b, 0);
+  return {xyz[0], xyz[1]};
+}
+
+std::vector<double> surface_gravity_diagonal(
+    const H1Space& space, const PhysicalConstants& constants) {
+  auto diag = boundary_mass_diagonal(space, BoundaryKind::Surface);
+  const double coeff = 1.0 / (constants.rho * constants.gravity);
+  for (auto& v : diag) v *= coeff;
+  return diag;
+}
+
+std::vector<double> absorbing_diagonal(const H1Space& space,
+                                       const PhysicalConstants& constants) {
+  auto diag = boundary_mass_diagonal(space, BoundaryKind::Lateral);
+  const double coeff = 1.0 / constants.impedance();
+  for (auto& v : diag) v *= coeff;
+  return diag;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,78 @@
+#pragma once
+
+// Physical boundary operators of the acoustic-gravity system (Eq. (1)/(4)):
+//
+//   sea surface  dOmega_s :  <(rho g)^-1 p, v>  -> lumped diagonal added to
+//                            the pressure mass (the gravity-wave condition),
+//   lateral      dOmega_a :  <Z^-1 p, v>        -> lumped diagonal applied
+//                            inside A (first-order absorbing condition),
+//   seafloor     dOmega_b :  <m, v>             -> the parameter-to-RHS map
+//                            L (diagonal over the seafloor GLL plane), whose
+//                            transpose extracts p2o rows in the adjoint.
+//
+// The seafloor plane's GLL nodes double as the spatial parameter grid of the
+// inverse problem (dimension Nm = nx1 * ny1).
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fem/geometry.hpp"
+#include "fem/h1_space.hpp"
+
+namespace tsunami {
+
+/// Seawater / gravity constants used across the model.
+struct PhysicalConstants {
+  double rho = 1025.0;          ///< seawater density [kg/m^3]
+  double sound_speed = 1484.0;  ///< speed of sound in seawater [m/s]
+  double gravity = 9.81;        ///< gravitational acceleration [m/s^2]
+
+  [[nodiscard]] double bulk_modulus() const {
+    return rho * sound_speed * sound_speed;
+  }
+  [[nodiscard]] double impedance() const { return rho * sound_speed; }
+};
+
+/// Diagonal map L between the seafloor parameter grid (size Nm) and pressure
+/// RHS vectors (size Np): (L m)_i = w_i m_i on seafloor nodes, 0 elsewhere.
+/// Seafloor nodes are the first Nm global pressure DOFs by construction.
+class BottomSourceMap {
+ public:
+  BottomSourceMap(const H1Space& space);
+
+  [[nodiscard]] std::size_t parameter_dim() const { return weights_.size(); }
+  [[nodiscard]] std::size_t pressure_dim() const { return np_; }
+
+  /// rhs (size Np, zeroed first) = L m.
+  void apply(std::span<const double> m, std::span<double> rhs) const;
+
+  /// out (size Nm) = L^T y  (restriction to the seafloor plane + weights).
+  void apply_transpose(std::span<const double> y, std::span<double> out) const;
+
+  /// Boundary-mass weights over the parameter grid (w_i).
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+
+  /// Physical (x, y) footprint coordinates of parameter node r.
+  [[nodiscard]] std::array<double, 2> node_xy(std::size_t r) const;
+
+  [[nodiscard]] std::size_t grid_nx() const { return nx1_; }
+  [[nodiscard]] std::size_t grid_ny() const { return ny1_; }
+
+ private:
+  const H1Space& space_;
+  std::size_t np_;
+  std::size_t nx1_, ny1_;
+  std::vector<double> weights_;
+};
+
+/// Diagonal of the free-surface term <(rho g)^-1 p, v> over pressure DOFs.
+[[nodiscard]] std::vector<double> surface_gravity_diagonal(
+    const H1Space& space, const PhysicalConstants& constants);
+
+/// Diagonal of the absorbing term <Z^-1 p, v> over pressure DOFs.
+[[nodiscard]] std::vector<double> absorbing_diagonal(
+    const H1Space& space, const PhysicalConstants& constants);
+
+}  // namespace tsunami

@@ -1,0 +1,192 @@
+#include "fem/geometry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace tsunami {
+
+std::array<double, 9> trilinear_jacobian(
+    const std::array<std::array<double, 3>, 8>& corners,
+    const std::array<double, 3>& xi) {
+  std::array<double, 9> j{};
+  for (std::size_t cz = 0; cz < 2; ++cz)
+    for (std::size_t cy = 0; cy < 2; ++cy)
+      for (std::size_t cx = 0; cx < 2; ++cx) {
+        const double sx = cx ? 0.5 : -0.5;
+        const double sy = cy ? 0.5 : -0.5;
+        const double sz = cz ? 0.5 : -0.5;
+        const double fx = cx ? 0.5 * (1.0 + xi[0]) : 0.5 * (1.0 - xi[0]);
+        const double fy = cy ? 0.5 * (1.0 + xi[1]) : 0.5 * (1.0 - xi[1]);
+        const double fz = cz ? 0.5 * (1.0 + xi[2]) : 0.5 * (1.0 - xi[2]);
+        const auto& v = corners[cx + 2 * cy + 4 * cz];
+        const double dN[3] = {sx * fy * fz, fx * sy * fz, fx * fy * sz};
+        for (std::size_t i = 0; i < 3; ++i)
+          for (std::size_t d = 0; d < 3; ++d) j[3 * i + d] += v[i] * dN[d];
+      }
+  return j;
+}
+
+double det3(const std::array<double, 9>& j) {
+  return j[0] * (j[4] * j[8] - j[5] * j[7]) -
+         j[1] * (j[3] * j[8] - j[5] * j[6]) +
+         j[2] * (j[3] * j[7] - j[4] * j[6]);
+}
+
+std::array<double, 9> det_times_inverse_transpose(
+    const std::array<double, 9>& j) {
+  // det(J) J^{-T} = adj(J)^T = cofactor matrix of J.
+  std::array<double, 9> c{};
+  c[0] = j[4] * j[8] - j[5] * j[7];
+  c[1] = j[5] * j[6] - j[3] * j[8];
+  c[2] = j[3] * j[7] - j[4] * j[6];
+  c[3] = j[2] * j[7] - j[1] * j[8];
+  c[4] = j[0] * j[8] - j[2] * j[6];
+  c[5] = j[1] * j[6] - j[0] * j[7];
+  c[6] = j[1] * j[5] - j[2] * j[4];
+  c[7] = j[2] * j[3] - j[0] * j[5];
+  c[8] = j[0] * j[4] - j[1] * j[3];
+  // Cofactor c[3*i+j] corresponds to (det J * J^{-1})_{ji}; transposed gives
+  // det J * J^{-T} with rows indexed like J's rows. Laid out so that
+  // (out * r)_i = sum_j out[3*i+j] r_j equals det(J) (J^{-T} r)_i.
+  return c;
+}
+
+PaGeometry build_pa_geometry(const HexMesh& mesh, const BasisTables& tables) {
+  PaGeometry g;
+  g.nelem = mesh.num_elements();
+  g.q = tables.q;
+  g.q3 = g.q * g.q * g.q;
+  g.grad_factor.assign(g.nelem * g.q3 * 9, 0.0);
+  g.wdetj.assign(g.nelem * g.q3, 0.0);
+  g.corners.assign(g.nelem * 24, 0.0);
+
+  const auto& pts = tables.gl.points;
+  const auto& wts = tables.gl.weights;
+  parallel_for(g.nelem, [&](std::size_t e) {
+    const auto corners = mesh.element_vertices(e);
+    for (std::size_t c = 0; c < 8; ++c)
+      for (std::size_t d = 0; d < 3; ++d)
+        g.corners[e * 24 + 3 * c + d] = corners[c][d];
+    std::size_t pt = 0;
+    for (std::size_t n = 0; n < g.q; ++n)
+      for (std::size_t m = 0; m < g.q; ++m)
+        for (std::size_t l = 0; l < g.q; ++l, ++pt) {
+          const std::array<double, 3> xi{pts[l], pts[m], pts[n]};
+          const auto j = trilinear_jacobian(corners, xi);
+          const double dj = det3(j);
+          if (dj <= 0.0)
+            throw std::runtime_error(
+                "build_pa_geometry: non-positive Jacobian (inverted element)");
+          const double w = wts[l] * wts[m] * wts[n];
+          const auto cof = det_times_inverse_transpose(j);
+          for (std::size_t k = 0; k < 9; ++k)
+            g.grad_factor[(e * g.q3 + pt) * 9 + k] = w * cof[k];
+          g.wdetj[e * g.q3 + pt] = w * dj;
+        }
+  });
+  return g;
+}
+
+namespace {
+
+/// Accumulate one boundary face's GLL-collocated lumped mass into `diag`.
+/// `axis` is the reference direction normal to the face; `side` is -1/+1.
+void accumulate_face(const H1Space& space, std::size_t ex, std::size_t ey,
+                     std::size_t ez, int axis, int side,
+                     std::vector<double>& diag) {
+  const auto& tables = space.tables();
+  const auto& gll = tables.gll;
+  const std::size_t n1 = tables.n1;
+  const auto corners =
+      space.mesh().element_vertices(space.mesh().element_index(ex, ey, ez));
+
+  // Tangential reference directions.
+  const int t1 = (axis + 1) % 3;
+  const int t2 = (axis + 2) % 3;
+
+  for (std::size_t b2 = 0; b2 < n1; ++b2)
+    for (std::size_t b1 = 0; b1 < n1; ++b1) {
+      std::array<double, 3> xi{};
+      xi[static_cast<std::size_t>(axis)] = side > 0 ? 1.0 : -1.0;
+      xi[static_cast<std::size_t>(t1)] = gll.points[b1];
+      xi[static_cast<std::size_t>(t2)] = gll.points[b2];
+      const auto j = trilinear_jacobian(corners, xi);
+      // Tangent vectors are the Jacobian columns t1 and t2.
+      std::array<double, 3> u{}, v{};
+      for (std::size_t i = 0; i < 3; ++i) {
+        u[i] = j[3 * i + static_cast<std::size_t>(t1)];
+        v[i] = j[3 * i + static_cast<std::size_t>(t2)];
+      }
+      const double cx = u[1] * v[2] - u[2] * v[1];
+      const double cy = u[2] * v[0] - u[0] * v[2];
+      const double cz = u[0] * v[1] - u[1] * v[0];
+      const double area = std::sqrt(cx * cx + cy * cy + cz * cz);
+      const double w = gll.weights[b1] * gll.weights[b2] * area;
+
+      std::size_t local[3];
+      local[static_cast<std::size_t>(axis)] = side > 0 ? n1 - 1 : 0;
+      local[static_cast<std::size_t>(t1)] = b1;
+      local[static_cast<std::size_t>(t2)] = b2;
+      diag[space.element_dof(ex, ey, ez, local[0], local[1], local[2])] += w;
+    }
+}
+
+}  // namespace
+
+std::vector<double> boundary_mass_diagonal(const H1Space& space,
+                                           BoundaryKind kind) {
+  const auto& mesh = space.mesh();
+  std::vector<double> diag(space.num_dofs(), 0.0);
+  switch (kind) {
+    case BoundaryKind::Bottom:
+      for (std::size_t ey = 0; ey < mesh.ny(); ++ey)
+        for (std::size_t ex = 0; ex < mesh.nx(); ++ex)
+          accumulate_face(space, ex, ey, 0, 2, -1, diag);
+      break;
+    case BoundaryKind::Surface:
+      for (std::size_t ey = 0; ey < mesh.ny(); ++ey)
+        for (std::size_t ex = 0; ex < mesh.nx(); ++ex)
+          accumulate_face(space, ex, ey, mesh.nz() - 1, 2, +1, diag);
+      break;
+    case BoundaryKind::Lateral:
+      for (std::size_t ez = 0; ez < mesh.nz(); ++ez) {
+        for (std::size_t ey = 0; ey < mesh.ny(); ++ey) {
+          accumulate_face(space, 0, ey, ez, 0, -1, diag);
+          accumulate_face(space, mesh.nx() - 1, ey, ez, 0, +1, diag);
+        }
+        for (std::size_t ex = 0; ex < mesh.nx(); ++ex) {
+          accumulate_face(space, ex, 0, ez, 1, -1, diag);
+          accumulate_face(space, ex, mesh.ny() - 1, ez, 1, +1, diag);
+        }
+      }
+      break;
+  }
+  return diag;
+}
+
+std::vector<double> h1_lumped_mass(const H1Space& space) {
+  const auto& mesh = space.mesh();
+  const auto& tables = space.tables();
+  const auto& gll = tables.gll;
+  const std::size_t n1 = tables.n1;
+  std::vector<double> diag(space.num_dofs(), 0.0);
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto c = mesh.element_coords(e);
+    const auto corners = mesh.element_vertices(e);
+    for (std::size_t lc = 0; lc < n1; ++lc)
+      for (std::size_t lb = 0; lb < n1; ++lb)
+        for (std::size_t la = 0; la < n1; ++la) {
+          const std::array<double, 3> xi{gll.points[la], gll.points[lb],
+                                         gll.points[lc]};
+          const auto j = trilinear_jacobian(corners, xi);
+          const double w =
+              gll.weights[la] * gll.weights[lb] * gll.weights[lc] * det3(j);
+          diag[space.element_dof(c[0], c[1], c[2], la, lb, lc)] += w;
+        }
+  }
+  return diag;
+}
+
+}  // namespace tsunami

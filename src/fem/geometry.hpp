@@ -1,0 +1,71 @@
+#pragma once
+
+// Element geometry: trilinear Jacobians and the precomputed partial-assembly
+// factors. Partial assembly stores, per element and volume quadrature point,
+// the combined factor  G_q = w_q * det(J_q) * J_q^{-T}  (9 doubles) plus
+// w_q det(J_q) (1 double) — the asymptotically O(1)-per-DOF storage the paper
+// highlights for MFEM's PA. The matrix-free (MF) variant stores only the 24
+// corner coordinates per element and recomputes J on the fly (more FLOPs,
+// less memory traffic — Fig. 7's trade-off).
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "fem/basis.hpp"
+#include "fem/h1_space.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace tsunami {
+
+/// 3x3 Jacobian of the trilinear map at reference point xi, from the 8
+/// element corners (corner c at index cx + 2*cy + 4*cz). Row-major:
+/// J[3*i + j] = d x_i / d xi_j.
+[[nodiscard]] std::array<double, 9> trilinear_jacobian(
+    const std::array<std::array<double, 3>, 8>& corners,
+    const std::array<double, 3>& xi);
+
+/// det of a row-major 3x3.
+[[nodiscard]] double det3(const std::array<double, 9>& j);
+
+/// adj(J)^T / ... : computes  out = det(J) * J^{-T}  (row-major 3x3).
+[[nodiscard]] std::array<double, 9> det_times_inverse_transpose(
+    const std::array<double, 9>& j);
+
+/// Precomputed PA geometry for the volume kernels.
+struct PaGeometry {
+  std::size_t nelem = 0;
+  std::size_t q = 0;    ///< quad points per dim
+  std::size_t q3 = 0;   ///< points per element
+  /// grad_factor[(e*q3 + pt)*9 + 3*i + j] = w_pt det(J) J^{-T}, row-major.
+  std::vector<double> grad_factor;
+  /// wdetj[e*q3 + pt] = w_pt det(J).
+  std::vector<double> wdetj;
+  /// corners[e*24 + 3*c + d]: corner coordinates for the MF kernel.
+  std::vector<double> corners;
+
+  [[nodiscard]] std::size_t pa_bytes() const {
+    return (grad_factor.size() + wdetj.size()) * sizeof(double);
+  }
+  [[nodiscard]] std::size_t mf_bytes() const {
+    return corners.size() * sizeof(double);
+  }
+};
+
+/// Build the PA tables for all elements (OpenMP over elements).
+[[nodiscard]] PaGeometry build_pa_geometry(const HexMesh& mesh,
+                                           const BasisTables& tables);
+
+/// Diagonal boundary weights on H1 (pressure) nodes of one boundary kind:
+/// entries w_a w_b |t1 x t2| accumulated over boundary faces — the lumped
+/// boundary mass used for the free-surface term, the absorbing term, and the
+/// seafloor source/parameter map. Returned dense over all H1 DOFs (zero off
+/// the boundary).
+[[nodiscard]] std::vector<double> boundary_mass_diagonal(
+    const H1Space& space, BoundaryKind kind);
+
+/// Diagonal (lumped) volume H1 mass: entries  w_abc det(J at GLL node)
+/// accumulated over elements (GLL collocation; the paper's lumped mass).
+[[nodiscard]] std::vector<double> h1_lumped_mass(const H1Space& space);
+
+}  // namespace tsunami

@@ -1,0 +1,142 @@
+#include "fem/h1_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsunami {
+
+H1Space::H1Space(const HexMesh& mesh, const BasisTables& tables)
+    : mesh_(mesh),
+      tables_(tables),
+      p_(tables.order),
+      nx1_(mesh.nx() * tables.order + 1),
+      ny1_(mesh.ny() * tables.order + 1),
+      nz1_(mesh.nz() * tables.order + 1) {}
+
+std::array<double, 3> H1Space::node_coords(std::size_t a, std::size_t b,
+                                           std::size_t c) const {
+  // Element and intra-element GLL offsets.
+  const std::size_t ex = std::min(a / p_, mesh_.nx() - 1);
+  const std::size_t ey = std::min(b / p_, mesh_.ny() - 1);
+  const std::size_t ez = std::min(c / p_, mesh_.nz() - 1);
+  const std::size_t la = a - ex * p_;
+  const std::size_t lb = b - ey * p_;
+  const std::size_t lc = c - ez * p_;
+
+  // Reference coordinates of the GLL node inside the element.
+  const double xi = tables_.gll.points[la];
+  const double eta = tables_.gll.points[lb];
+  const double zeta = tables_.gll.points[lc];
+
+  // Trilinear geometry interpolation from the element corners.
+  const auto corners =
+      mesh_.element_vertices(mesh_.element_index(ex, ey, ez));
+  std::array<double, 3> x{0.0, 0.0, 0.0};
+  for (std::size_t cz = 0; cz < 2; ++cz)
+    for (std::size_t cy = 0; cy < 2; ++cy)
+      for (std::size_t cx = 0; cx < 2; ++cx) {
+        const double shape = 0.5 * (cx ? 1.0 + xi : 1.0 - xi) * 0.5 *
+                             (cy ? 1.0 + eta : 1.0 - eta) * 0.5 *
+                             (cz ? 1.0 + zeta : 1.0 - zeta);
+        const auto& v = corners[cx + 2 * cy + 4 * cz];
+        for (int d = 0; d < 3; ++d) x[static_cast<std::size_t>(d)] += shape * v[static_cast<std::size_t>(d)];
+      }
+  return x;
+}
+
+namespace {
+
+/// Build the sparse evaluation row for reference point (xi, eta, zeta) of
+/// element (ex, ey, ez).
+PointEval eval_row(const H1Space& space, const BasisTables& tables,
+                   std::size_t ex, std::size_t ey, std::size_t ez, double xi,
+                   double eta, double zeta) {
+  const auto lx = lagrange_values(tables.gll.points, xi);
+  const auto ly = lagrange_values(tables.gll.points, eta);
+  const auto lz = lagrange_values(tables.gll.points, zeta);
+  PointEval out;
+  const std::size_t n1 = tables.n1;
+  out.dofs.reserve(n1 * n1 * n1);
+  out.weights.reserve(n1 * n1 * n1);
+  for (std::size_t c = 0; c < n1; ++c)
+    for (std::size_t b = 0; b < n1; ++b)
+      for (std::size_t a = 0; a < n1; ++a) {
+        const double w = lx[a] * ly[b] * lz[c];
+        if (std::abs(w) < 1e-14) continue;
+        out.dofs.push_back(space.element_dof(ex, ey, ez, a, b, c));
+        out.weights.push_back(w);
+      }
+  return out;
+}
+
+}  // namespace
+
+PointEval H1Space::locate(double x, double y, double z) const {
+  const double dx = mesh_.dx(), dy = mesh_.dy();
+  const auto clamp_cell = [](double v, double h, std::size_t n) {
+    const double cell = std::floor(v / h);
+    return static_cast<std::size_t>(
+        std::clamp(cell, 0.0, static_cast<double>(n - 1)));
+  };
+  const std::size_t ex = clamp_cell(x, dx, mesh_.nx());
+  const std::size_t ey = clamp_cell(y, dy, mesh_.ny());
+  const double xi = 2.0 * (x - static_cast<double>(ex) * dx) / dx - 1.0;
+  const double eta = 2.0 * (y - static_cast<double>(ey) * dy) / dy - 1.0;
+
+  // Vertical: columns are graded between the seafloor and z = 0; find the
+  // layer whose [z_bot, z_top] brackets z, then invert the (linear in zeta)
+  // trilinear map at fixed (xi, eta).
+  for (std::size_t ez = 0; ez < mesh_.nz(); ++ez) {
+    const auto corners =
+        mesh_.element_vertices(mesh_.element_index(ex, ey, ez));
+    auto z_at = [&](double zeta) {
+      double zz = 0.0;
+      for (std::size_t cz = 0; cz < 2; ++cz)
+        for (std::size_t cy = 0; cy < 2; ++cy)
+          for (std::size_t cx = 0; cx < 2; ++cx) {
+            const double shape = 0.5 * (cx ? 1.0 + xi : 1.0 - xi) * 0.5 *
+                                 (cy ? 1.0 + eta : 1.0 - eta) * 0.5 *
+                                 (cz ? 1.0 + zeta : 1.0 - zeta);
+            zz += shape * corners[cx + 2 * cy + 4 * cz][2];
+          }
+      return zz;
+    };
+    const double z_bot = z_at(-1.0), z_top = z_at(1.0);
+    const bool last = (ez + 1 == mesh_.nz());
+    if (z <= z_top + 1e-9 || last) {
+      if (z < z_bot - 1e-9 && ez == 0)
+        throw std::invalid_argument("H1Space::locate: point below seafloor");
+      const double denom = z_top - z_bot;
+      const double zeta =
+          denom > 0 ? std::clamp(2.0 * (z - z_bot) / denom - 1.0, -1.0, 1.0)
+                    : -1.0;
+      return eval_row(*this, tables_, ex, ey, ez, xi, eta, zeta);
+    }
+  }
+  throw std::logic_error("H1Space::locate: unreachable");
+}
+
+PointEval H1Space::locate_on_bottom(double x, double y) const {
+  const double dx = mesh_.dx(), dy = mesh_.dy();
+  const std::size_t ex = std::min(static_cast<std::size_t>(std::max(0.0, std::floor(x / dx))),
+                                  mesh_.nx() - 1);
+  const std::size_t ey = std::min(static_cast<std::size_t>(std::max(0.0, std::floor(y / dy))),
+                                  mesh_.ny() - 1);
+  const double xi = 2.0 * (x - static_cast<double>(ex) * dx) / dx - 1.0;
+  const double eta = 2.0 * (y - static_cast<double>(ey) * dy) / dy - 1.0;
+  return eval_row(*this, tables_, ex, ey, 0, xi, eta, -1.0);
+}
+
+PointEval H1Space::locate_on_surface(double x, double y) const {
+  const double dx = mesh_.dx(), dy = mesh_.dy();
+  const std::size_t ex = std::min(static_cast<std::size_t>(std::max(0.0, std::floor(x / dx))),
+                                  mesh_.nx() - 1);
+  const std::size_t ey = std::min(static_cast<std::size_t>(std::max(0.0, std::floor(y / dy))),
+                                  mesh_.ny() - 1);
+  const double xi = 2.0 * (x - static_cast<double>(ex) * dx) / dx - 1.0;
+  const double eta = 2.0 * (y - static_cast<double>(ey) * dy) / dy - 1.0;
+  return eval_row(*this, tables_, ex, ey, mesh_.nz() - 1, xi, eta, 1.0);
+}
+
+}  // namespace tsunami

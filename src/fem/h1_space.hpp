@@ -1,0 +1,75 @@
+#pragma once
+
+// H1-conforming (continuous) scalar space of order p on the structured hex
+// mesh — the pressure space. Because the mesh is logically structured, the
+// global numbering is the tensor grid of GLL nodes: node (a, b, c) with
+// a in [0, nx*p], b in [0, ny*p], c in [0, nz*p]; index a-fastest, c-slowest.
+// The seafloor plane c = 0 therefore occupies the first Nx1*Ny1 entries of
+// any pressure vector — this plane doubles as the parameter grid for the
+// inverse problem.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "fem/basis.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace tsunami {
+
+/// Sparse point-evaluation functional: p(x0) = sum_k weight[k] * p[dof[k]].
+struct PointEval {
+  std::vector<std::size_t> dofs;
+  std::vector<double> weights;
+};
+
+class H1Space {
+ public:
+  H1Space(const HexMesh& mesh, const BasisTables& tables);
+
+  [[nodiscard]] std::size_t num_dofs() const { return nx1_ * ny1_ * nz1_; }
+  [[nodiscard]] std::size_t nx1() const { return nx1_; }
+  [[nodiscard]] std::size_t ny1() const { return ny1_; }
+  [[nodiscard]] std::size_t nz1() const { return nz1_; }
+
+  /// Global index of grid node (a, b, c).
+  [[nodiscard]] std::size_t node_index(std::size_t a, std::size_t b,
+                                       std::size_t c) const {
+    return a + nx1_ * (b + ny1_ * c);
+  }
+
+  /// Global DOF of local node (la, lb, lc) of element (ex, ey, ez).
+  [[nodiscard]] std::size_t element_dof(std::size_t ex, std::size_t ey,
+                                        std::size_t ez, std::size_t la,
+                                        std::size_t lb, std::size_t lc) const {
+    return node_index(ex * p_ + la, ey * p_ + lb, ez * p_ + lc);
+  }
+
+  /// Physical coordinates of global node (a, b, c) on the deformed mesh.
+  [[nodiscard]] std::array<double, 3> node_coords(std::size_t a, std::size_t b,
+                                                  std::size_t c) const;
+
+  /// Number of seafloor-plane nodes (== inverse-problem spatial parameter
+  /// dimension Nm).
+  [[nodiscard]] std::size_t num_bottom_nodes() const { return nx1_ * ny1_; }
+
+  /// Pressure point evaluation at physical (x, y, z). The point must lie
+  /// inside the mesh; z is located within the containing column.
+  [[nodiscard]] PointEval locate(double x, double y, double z) const;
+
+  /// Convenience: evaluation on the seafloor / sea surface below (x, y).
+  [[nodiscard]] PointEval locate_on_bottom(double x, double y) const;
+  [[nodiscard]] PointEval locate_on_surface(double x, double y) const;
+
+  [[nodiscard]] const HexMesh& mesh() const { return mesh_; }
+  [[nodiscard]] const BasisTables& tables() const { return tables_; }
+  [[nodiscard]] std::size_t order() const { return p_; }
+
+ private:
+  const HexMesh& mesh_;
+  const BasisTables& tables_;
+  std::size_t p_;
+  std::size_t nx1_, ny1_, nz1_;
+};
+
+}  // namespace tsunami

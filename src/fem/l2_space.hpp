@@ -1,0 +1,44 @@
+#pragma once
+
+// L2-conforming (discontinuous) vector space of order p-1 — the velocity
+// space. DOFs are nodal on the Gauss-Legendre points, element-local with no
+// inter-element coupling, so the layout is per-element contiguous:
+//   u[(e * 3 + d) * q^3 + node],  node = l + q*(m + q*n).
+// Collocation of the velocity nodes with the volume quadrature points makes
+// the velocity mass matrix diagonal (spectral-element lumping, as the paper's
+// lumped mass matrix M).
+
+#include <cstddef>
+
+#include "fem/basis.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace tsunami {
+
+class L2Space {
+ public:
+  L2Space(const HexMesh& mesh, const BasisTables& tables)
+      : nelem_(mesh.num_elements()), q_(tables.q), q3_(q_ * q_ * q_) {}
+
+  [[nodiscard]] std::size_t num_dofs() const { return nelem_ * 3 * q3_; }
+  [[nodiscard]] std::size_t nodes_per_element() const { return q3_; }
+  [[nodiscard]] std::size_t num_elements() const { return nelem_; }
+
+  /// Offset of (element e, component d) block of length q^3.
+  [[nodiscard]] std::size_t block_offset(std::size_t e, std::size_t d) const {
+    return (e * 3 + d) * q3_;
+  }
+
+  /// Full DOF index for (element, component, node).
+  [[nodiscard]] std::size_t dof(std::size_t e, std::size_t d,
+                                std::size_t node) const {
+    return block_offset(e, d) + node;
+  }
+
+ private:
+  std::size_t nelem_;
+  std::size_t q_;
+  std::size_t q3_;
+};
+
+}  // namespace tsunami

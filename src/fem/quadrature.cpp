@@ -1,0 +1,94 @@
+#include "fem/quadrature.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace tsunami {
+
+namespace {
+
+/// Legendre polynomial P_n(x) and its derivative via the standard recurrence.
+struct LegendreEval {
+  double value;
+  double derivative;
+};
+
+LegendreEval legendre(std::size_t n, double x) {
+  double p0 = 1.0, p1 = x;
+  if (n == 0) return {1.0, 0.0};
+  for (std::size_t k = 2; k <= n; ++k) {
+    const double pk = ((2.0 * static_cast<double>(k) - 1.0) * x * p1 -
+                       (static_cast<double>(k) - 1.0) * p0) /
+                      static_cast<double>(k);
+    p0 = p1;
+    p1 = pk;
+  }
+  // P'_n(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+  const double dp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+  return {p1, dp};
+}
+
+}  // namespace
+
+QuadratureRule gauss_legendre(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("gauss_legendre: n == 0");
+  QuadratureRule rule;
+  rule.points.resize(n);
+  rule.weights.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Chebyshev initial guess, then Newton on P_n.
+    double x = -std::cos(std::numbers::pi * (static_cast<double>(i) + 0.75) /
+                         (static_cast<double>(n) + 0.5));
+    for (int it = 0; it < 100; ++it) {
+      const auto [v, d] = legendre(n, x);
+      const double dx = -v / d;
+      x += dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const auto [v, d] = legendre(n, x);
+    (void)v;
+    rule.points[i] = x;
+    rule.weights[i] = 2.0 / ((1.0 - x * x) * d * d);
+  }
+  return rule;
+}
+
+QuadratureRule gauss_lobatto(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("gauss_lobatto: need n >= 2");
+  QuadratureRule rule;
+  rule.points.resize(n);
+  rule.weights.resize(n);
+  const std::size_t m = n - 1;  // interior nodes are roots of P'_m
+  rule.points.front() = -1.0;
+  rule.points.back() = 1.0;
+  const double wend =
+      2.0 / (static_cast<double>(m) * (static_cast<double>(m) + 1.0));
+  rule.weights.front() = wend;
+  rule.weights.back() = wend;
+  for (std::size_t i = 1; i < m; ++i) {
+    // Initial guess: extrema of P_m interlace its roots.
+    double x = -std::cos(std::numbers::pi * static_cast<double>(i) /
+                         static_cast<double>(m));
+    for (int it = 0; it < 100; ++it) {
+      // Newton on f(x) = P'_m(x). f' from Legendre ODE:
+      // (1-x^2) P''_m = 2x P'_m - m(m+1) P_m.
+      const auto [v, d] = legendre(m, x);
+      const double f = d;
+      const double fp = (2.0 * x * d -
+                         static_cast<double>(m) * (static_cast<double>(m) + 1.0) * v) /
+                        (1.0 - x * x);
+      const double dx = -f / fp;
+      x += dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const auto [v, d] = legendre(m, x);
+    (void)d;
+    rule.points[i] = x;
+    rule.weights[i] =
+        2.0 / (static_cast<double>(m) * (static_cast<double>(m) + 1.0) * v * v);
+  }
+  return rule;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,28 @@
+#pragma once
+
+// 1-D quadrature rules on the reference interval [-1, 1].
+//
+// The discretization follows the paper's spectral-element structure:
+// pressure uses Gauss-Lobatto-Legendre (GLL) nodes (collocated quadrature =>
+// diagonal "lumped" mass, as in the paper), velocity and all volume integrals
+// use Gauss-Legendre (GL) points.
+
+#include <cstddef>
+#include <vector>
+
+namespace tsunami {
+
+struct QuadratureRule {
+  std::vector<double> points;   ///< nodes in [-1, 1], ascending
+  std::vector<double> weights;  ///< positive weights summing to 2
+  [[nodiscard]] std::size_t size() const { return points.size(); }
+};
+
+/// Gauss-Legendre rule with `n` points (exact for degree 2n-1).
+[[nodiscard]] QuadratureRule gauss_legendre(std::size_t n);
+
+/// Gauss-Lobatto-Legendre rule with `n` points, n >= 2 (exact for degree
+/// 2n-3; includes the endpoints +-1).
+[[nodiscard]] QuadratureRule gauss_lobatto(std::size_t n);
+
+}  // namespace tsunami

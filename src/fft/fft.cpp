@@ -1,0 +1,206 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace tsunami {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::vector<std::size_t> make_bitrev(std::size_t n) {
+  std::vector<std::size_t> rev(n, 0);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2n; ++b)
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (log2n - 1 - b);
+    rev[i] = r;
+  }
+  return rev;
+}
+
+std::vector<Complex> make_twiddles(std::size_t n) {
+  std::vector<Complex> tw(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * kPi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    tw[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+  return tw;
+}
+
+// Radix-2 in-place with precomputed tables. `inverse` conjugates twiddles;
+// normalization is applied by the caller.
+void radix2_core(std::span<Complex> a, const std::vector<std::size_t>& bitrev,
+                 const std::vector<Complex>& twiddle, bool inverse) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bitrev[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t stride = n / len;
+    for (std::size_t start = 0; start < n; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        Complex w = twiddle[k * stride];
+        if (inverse) w = std::conj(w);
+        const Complex u = a[start + k];
+        const Complex v = a[start + k + half] * w;
+        a[start + k] = u + v;
+        a[start + k + half] = u - v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t length) : n_(length), pow2_(is_pow2(length)) {
+  if (n_ == 0) throw std::invalid_argument("FftPlan: zero length");
+  if (pow2_) {
+    bitrev_ = make_bitrev(n_);
+    twiddle_ = make_twiddles(n_);
+    return;
+  }
+  // Bluestein: x_k * chirp_k convolved with conj-chirp, on padded length m.
+  m_ = next_pow2(2 * n_ - 1);
+  chirp_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    // exp(-i pi k^2 / n); reduce k^2 mod 2n to keep the angle accurate.
+    const std::size_t k2 = (k * k) % (2 * n_);
+    const double ang = -kPi * static_cast<double>(k2) / static_cast<double>(n_);
+    chirp_[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+  m_bitrev_ = make_bitrev(m_);
+  m_twiddle_ = make_twiddles(m_);
+  std::vector<Complex> b(m_, Complex(0.0, 0.0));
+  b[0] = std::conj(chirp_[0]);
+  for (std::size_t k = 1; k < n_; ++k) {
+    b[k] = std::conj(chirp_[k]);
+    b[m_ - k] = std::conj(chirp_[k]);
+  }
+  radix2_core(std::span<Complex>(b), m_bitrev_, m_twiddle_, false);
+  chirp_fft_ = std::move(b);
+}
+
+void FftPlan::radix2(std::span<Complex> data, bool inverse) const {
+  radix2_core(data, bitrev_, twiddle_, inverse);
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n_);
+    for (auto& v : data) v *= inv;
+  }
+}
+
+void FftPlan::bluestein(std::span<Complex> data, bool inverse) const {
+  // Inverse via conjugation: ifft(x) = conj(fft(conj(x))) / n.
+  std::vector<Complex> a(m_, Complex(0.0, 0.0));
+  if (inverse) {
+    for (std::size_t k = 0; k < n_; ++k)
+      a[k] = std::conj(data[k]) * chirp_[k];
+  } else {
+    for (std::size_t k = 0; k < n_; ++k) a[k] = data[k] * chirp_[k];
+  }
+  radix2_core(std::span<Complex>(a), m_bitrev_, m_twiddle_, false);
+  for (std::size_t k = 0; k < m_; ++k) a[k] *= chirp_fft_[k];
+  radix2_core(std::span<Complex>(a), m_bitrev_, m_twiddle_, true);
+  const double inv_m = 1.0 / static_cast<double>(m_);
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (std::size_t k = 0; k < n_; ++k)
+      data[k] = std::conj(a[k] * inv_m * chirp_[k]) * inv_n;
+  } else {
+    for (std::size_t k = 0; k < n_; ++k) data[k] = a[k] * inv_m * chirp_[k];
+  }
+}
+
+void FftPlan::forward(std::span<Complex> data) const {
+  if (data.size() != n_) throw std::invalid_argument("FftPlan: length mismatch");
+  if (pow2_)
+    radix2(data, false);
+  else
+    bluestein(data, false);
+}
+
+void FftPlan::inverse(std::span<Complex> data) const {
+  if (data.size() != n_) throw std::invalid_argument("FftPlan: length mismatch");
+  if (pow2_)
+    radix2(data, true);
+  else
+    bluestein(data, true);
+}
+
+void FftPlan::forward_batch(std::span<Complex> data, std::size_t batch) const {
+  if (data.size() != n_ * batch)
+    throw std::invalid_argument("FftPlan: batch size mismatch");
+  Complex* p = data.data();
+  parallel_for_min(batch, 2, [&](std::size_t b) {
+    forward(std::span<Complex>(p + b * n_, n_));
+  });
+}
+
+void FftPlan::inverse_batch(std::span<Complex> data, std::size_t batch) const {
+  if (data.size() != n_ * batch)
+    throw std::invalid_argument("FftPlan: batch size mismatch");
+  Complex* p = data.data();
+  parallel_for_min(batch, 2, [&](std::size_t b) {
+    inverse(std::span<Complex>(p + b * n_, n_));
+  });
+}
+
+void fft(std::vector<Complex>& data) {
+  FftPlan(data.size()).forward(std::span<Complex>(data));
+}
+
+void ifft(std::vector<Complex>& data) {
+  FftPlan(data.size()).inverse(std::span<Complex>(data));
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> x, bool inverse) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n, Complex(0.0, 0.0));
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * kPi * static_cast<double>((j * k) % n) /
+                         static_cast<double>(n);
+      out[k] += x[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    if (inverse) out[k] /= static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<double> fft_convolve(std::span<const double> a,
+                                 std::span<const double> b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t m = next_pow2(out_len);
+  std::vector<Complex> fa(m, Complex(0.0, 0.0)), fb(m, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex(a[i], 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex(b[i], 0.0);
+  FftPlan plan(m);
+  plan.forward(std::span<Complex>(fa));
+  plan.forward(std::span<Complex>(fb));
+  for (std::size_t i = 0; i < m; ++i) fa[i] *= fb[i];
+  plan.inverse(std::span<Complex>(fa));
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,73 @@
+#pragma once
+
+// From-scratch FFT library (the {cu,roc}FFT stand-in for FFTMatvec).
+//
+// Provides complex forward/inverse transforms of arbitrary length:
+//  - iterative radix-2 Cooley-Tukey for powers of two,
+//  - Bluestein's chirp-z algorithm for everything else (so Toeplitz
+//    embeddings never need size padding beyond 2*Nt),
+// plus batched multi-signal transforms (OpenMP over the batch), which is the
+// access pattern of the block-circulant matvec: many independent length-L
+// transforms, one per spatial index.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsunami {
+
+using Complex = std::complex<double>;
+
+/// Precomputed plan for complex transforms of a fixed length.
+/// Immutable after construction; execute() is const and thread-safe, so one
+/// plan can serve all OpenMP threads of a batch.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t length);
+
+  [[nodiscard]] std::size_t length() const { return n_; }
+
+  /// In-place forward DFT: X_k = sum_j x_j exp(-2 pi i j k / n).
+  void forward(std::span<Complex> data) const;
+
+  /// In-place inverse DFT (includes the 1/n normalization).
+  void inverse(std::span<Complex> data) const;
+
+  /// Batched forward transform: `batch` contiguous signals of length n.
+  void forward_batch(std::span<Complex> data, std::size_t batch) const;
+  void inverse_batch(std::span<Complex> data, std::size_t batch) const;
+
+ private:
+  void radix2(std::span<Complex> data, bool inverse) const;
+  void bluestein(std::span<Complex> data, bool inverse) const;
+
+  std::size_t n_;
+  bool pow2_;
+  // Radix-2 tables.
+  std::vector<std::size_t> bitrev_;
+  std::vector<Complex> twiddle_;      // forward twiddles, n/2 entries
+  // Bluestein tables (empty if pow2).
+  std::size_t m_ = 0;                 // padded power-of-two length >= 2n-1
+  std::vector<Complex> chirp_;        // exp(-i pi k^2 / n), k = 0..n-1
+  std::vector<Complex> chirp_fft_;    // FFT of the padded conjugate chirp
+  std::vector<std::size_t> m_bitrev_;
+  std::vector<Complex> m_twiddle_;
+};
+
+/// One-shot convenience transforms (plan constructed internally).
+void fft(std::vector<Complex>& data);
+void ifft(std::vector<Complex>& data);
+
+/// Naive O(n^2) DFT used as the test oracle.
+[[nodiscard]] std::vector<Complex> dft_reference(std::span<const Complex> x,
+                                                 bool inverse = false);
+
+/// Linear convolution of two real sequences via FFT (length a+b-1).
+[[nodiscard]] std::vector<double> fft_convolve(std::span<const double> a,
+                                               std::span<const double> b);
+
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+}  // namespace tsunami

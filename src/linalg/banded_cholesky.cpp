@@ -1,0 +1,87 @@
+#include "linalg/banded_cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tsunami {
+
+void BandedMatrix::add(std::size_t i, std::size_t j, double v) {
+  const std::size_t lo = std::min(i, j), hi = std::max(i, j);
+  const std::size_t d = hi - lo;
+  if (d > bw_) throw std::out_of_range("BandedMatrix::add: outside band");
+  band(hi, d) += v;
+}
+
+void BandedMatrix::multiply(std::span<const double> x,
+                            std::span<double> y) const {
+  if (x.size() != n_ || y.size() != n_)
+    throw std::invalid_argument("BandedMatrix::multiply: size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) y[i] = band(i, 0) * x[i];
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t dmax = std::min(bw_, i);
+    for (std::size_t d = 1; d <= dmax; ++d) {
+      const double v = band(i, d);
+      if (v == 0.0) continue;
+      y[i] += v * x[i - d];
+      y[i - d] += v * x[i];
+    }
+  }
+}
+
+BandedCholesky::BandedCholesky(const BandedMatrix& a) : l_(a) {
+  const std::size_t n = l_.dim();
+  const std::size_t bw = l_.bandwidth();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = l_.band(j, 0);
+    if (d <= 0.0)
+      throw std::runtime_error("BandedCholesky: matrix not SPD (pivot <= 0)");
+    // d already updated by prior columns (left-looking below); take sqrt.
+    const double diag = std::sqrt(d);
+    l_.band(j, 0) = diag;
+    const std::size_t imax = std::min(n - 1, j + bw);
+    for (std::size_t i = j + 1; i <= imax; ++i) {
+      l_.band(i, i - j) /= diag;
+    }
+    // Right-looking rank-1 update of the remaining band.
+    for (std::size_t i = j + 1; i <= imax; ++i) {
+      const double lij = l_.band(i, i - j);
+      if (lij == 0.0) continue;
+      for (std::size_t k = j + 1; k <= i; ++k) {
+        const double lkj = l_.band(k, k - j);
+        l_.band(i, i - k) -= lij * lkj;
+      }
+    }
+  }
+}
+
+void BandedCholesky::forward_solve_in_place(std::span<double> b) const {
+  const std::size_t n = l_.dim(), bw = l_.bandwidth();
+  if (b.size() != n)
+    throw std::invalid_argument("BandedCholesky: rhs size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const std::size_t dmax = std::min(bw, i);
+    for (std::size_t d = 1; d <= dmax; ++d) s -= l_.band(i, d) * b[i - d];
+    b[i] = s / l_.band(i, 0);
+  }
+}
+
+void BandedCholesky::backward_solve_in_place(std::span<double> b) const {
+  const std::size_t n = l_.dim(), bw = l_.bandwidth();
+  if (b.size() != n)
+    throw std::invalid_argument("BandedCholesky: rhs size mismatch");
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    const std::size_t jmax = std::min(n - 1, ii + bw);
+    for (std::size_t j = ii + 1; j <= jmax; ++j)
+      s -= l_.band(j, j - ii) * b[j];
+    b[ii] = s / l_.band(ii, 0);
+  }
+}
+
+void BandedCholesky::solve_in_place(std::span<double> b) const {
+  forward_solve_in_place(b);
+  backward_solve_in_place(b);
+}
+
+}  // namespace tsunami

@@ -1,0 +1,131 @@
+#include "linalg/blas.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/partition.hpp"
+
+namespace tsunami {
+
+namespace {
+constexpr std::size_t kParallelThreshold = 1 << 14;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  const std::size_t n = x.size();
+  if (n < kParallelThreshold) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  } else {
+    double* yp = y.data();
+    const double* xp = x.data();
+#pragma omp parallel for schedule(static)
+    for (long long i = 0; i < static_cast<long long>(n); ++i)
+      yp[i] += alpha * xp[i];
+  }
+}
+
+void scal(double alpha, std::span<double> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  const std::size_t n = x.size();
+  if (n < kParallelThreshold) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+    return s;
+  }
+  const double* xp = x.data();
+  const double* yp = y.data();
+  return parallel_reduce_sum(n, [&](std::size_t i) { return xp[i] * yp[i]; });
+}
+
+double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double amax(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  if (x.size() != a.cols() || y.size() != a.rows())
+    throw std::invalid_argument("gemv: size mismatch");
+  const std::size_t rows = a.rows(), cols = a.cols();
+  const double* ap = a.data();
+  const double* xp = x.data();
+  double* yp = y.data();
+  parallel_for_min(rows, 64, [&](std::size_t i) {
+    const double* row = ap + i * cols;
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) s += row[j] * xp[j];
+    yp[i] = s;
+  });
+}
+
+void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y) {
+  if (x.size() != a.rows() || y.size() != a.cols())
+    throw std::invalid_argument("gemv_t: size mismatch");
+  const std::size_t rows = a.rows(), cols = a.cols();
+  const double* ap = a.data();
+  const double* xp = x.data();
+  double* yp = y.data();
+  // Column-result accumulation: parallelize over output chunks to avoid
+  // write conflicts while keeping unit-stride reads of A's rows.
+  const std::size_t nt =
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads()),
+                            std::max<std::size_t>(cols, 1));
+#pragma omp parallel num_threads(static_cast<int>(nt))
+  {
+    const auto t = static_cast<std::size_t>(omp_get_thread_num());
+    const Range r = block_range(cols, nt, t);
+    for (std::size_t j = r.begin; j < r.end; ++j) yp[j] = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double* row = ap + i * cols;
+      const double xi = xp[i];
+      for (std::size_t j = r.begin; j < r.end; ++j) yp[j] += xi * row[j];
+    }
+  }
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols())
+    throw std::invalid_argument("gemm: size mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  c.fill(0.0);
+  const double* ap = a.data();
+  const double* bp = b.data();
+  double* cp = c.data();
+  parallel_for_min(m, 16, [&](std::size_t i) {
+    double* crow = cp + i * n;
+    const double* arow = ap + i * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      const double av = arow[l];
+      const double* brow = bp + l * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.rows() != b.rows() || c.rows() != a.cols() || c.cols() != b.cols())
+    throw std::invalid_argument("gemm_tn: size mismatch");
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  c.fill(0.0);
+  const double* ap = a.data();
+  const double* bp = b.data();
+  double* cp = c.data();
+  parallel_for_min(m, 16, [&](std::size_t i) {
+    double* crow = cp + i * n;
+    for (std::size_t l = 0; l < k; ++l) {
+      const double av = ap[l * m + i];
+      const double* brow = bp + l * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+}  // namespace tsunami

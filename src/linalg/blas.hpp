@@ -1,0 +1,41 @@
+#pragma once
+
+// BLAS-like kernels (OpenMP-parallel where profitable). These stand in for
+// the cuBLAS calls in the paper's FFTMatvec/inference codes; the algorithms
+// built on top only assume the standard contracts.
+
+#include <span>
+
+#include "linalg/dense.hpp"
+
+namespace tsunami {
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha
+void scal(double alpha, std::span<double> x);
+
+/// Dot product (sequential accumulation order for reproducibility at the
+/// sizes used in solvers; parallel reduction for large n).
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm.
+[[nodiscard]] double nrm2(std::span<const double> x);
+
+/// Max-abs (infinity) norm.
+[[nodiscard]] double amax(std::span<const double> x);
+
+/// y = A x (row-major GEMV).
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// y = A^T x.
+void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y);
+
+/// C = A B (blocked, OpenMP over row panels).
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A^T B.
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& c);
+
+}  // namespace tsunami

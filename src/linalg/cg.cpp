@@ -1,0 +1,77 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+
+namespace tsunami {
+
+CgResult conjugate_gradient(const LinearOp& a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& opts) {
+  // Unpreconditioned CG == PCG with the identity preconditioner.
+  const LinearOp identity = [](std::span<const double> in,
+                               std::span<double> out) {
+    std::copy(in.begin(), in.end(), out.begin());
+  };
+  return preconditioned_conjugate_gradient(a, identity, b, x, opts);
+}
+
+CgResult preconditioned_conjugate_gradient(const LinearOp& a,
+                                           const LinearOp& precond,
+                                           std::span<const double> b,
+                                           std::span<double> x,
+                                           const CgOptions& opts) {
+  const std::size_t n = b.size();
+  if (x.size() != n) throw std::invalid_argument("pcg: size mismatch");
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  CgResult result;
+
+  // r = b - A x
+  a(x, std::span<double>(r));
+  result.operator_applications++;
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  precond(std::span<const double>(r), std::span<double>(z));
+  std::copy(z.begin(), z.end(), p.begin());
+
+  double rz = dot(r, z);
+  const double r0 = nrm2(r);
+  result.initial_residual = r0;
+  const double target = std::max(opts.relative_tolerance * r0,
+                                 opts.absolute_tolerance);
+  if (r0 <= target || r0 == 0.0) {
+    result.converged = true;
+    result.residual_norm = r0;
+    return result;
+  }
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    a(std::span<const double>(p), std::span<double>(ap));
+    result.operator_applications++;
+    const double pap = dot(p, ap);
+    if (pap <= 0.0)
+      throw std::runtime_error("pcg: operator not positive definite");
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, std::span<double>(r));
+
+    const double rn = nrm2(r);
+    result.iterations = it + 1;
+    result.residual_norm = rn;
+    if (rn <= target) {
+      result.converged = true;
+      return result;
+    }
+
+    precond(std::span<const double>(r), std::span<double>(z));
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,107 @@
+#include "linalg/dense_cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace tsunami {
+
+DenseCholesky::DenseCholesky(const Matrix& a, std::size_t block) : l_(a) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("DenseCholesky: matrix not square");
+  const std::size_t n = l_.rows();
+  double* lp = l_.data();
+
+  for (std::size_t k0 = 0; k0 < n; k0 += block) {
+    const std::size_t k1 = std::min(k0 + block, n);
+    // Factor the diagonal block (unblocked).
+    for (std::size_t k = k0; k < k1; ++k) {
+      double d = lp[k * n + k];
+      for (std::size_t j = k0; j < k; ++j) {
+        const double v = lp[k * n + j];
+        d -= v * v;
+      }
+      if (d <= 0.0)
+        throw std::runtime_error("DenseCholesky: matrix not SPD (pivot <= 0)");
+      const double diag = std::sqrt(d);
+      lp[k * n + k] = diag;
+      for (std::size_t i = k + 1; i < k1; ++i) {
+        double s = lp[i * n + k];
+        for (std::size_t j = k0; j < k; ++j)
+          s -= lp[i * n + j] * lp[k * n + j];
+        lp[i * n + k] = s / diag;
+      }
+    }
+    if (k1 == n) break;
+    // Panel solve: rows k1..n of columns k0..k1 (L21 = A21 L11^{-T}).
+    parallel_for_min(n - k1, 8, [&](std::size_t ii) {
+      const std::size_t i = k1 + ii;
+      for (std::size_t k = k0; k < k1; ++k) {
+        double s = lp[i * n + k];
+        for (std::size_t j = k0; j < k; ++j)
+          s -= lp[i * n + j] * lp[k * n + j];
+        lp[i * n + k] = s / lp[k * n + k];
+      }
+    });
+    // Trailing update: A22 -= L21 L21^T (lower triangle only).
+    parallel_for_min(n - k1, 8, [&](std::size_t ii) {
+      const std::size_t i = k1 + ii;
+      for (std::size_t j = k1; j <= i; ++j) {
+        double s = 0.0;
+        for (std::size_t k = k0; k < k1; ++k)
+          s += lp[i * n + k] * lp[j * n + k];
+        lp[i * n + j] -= s;
+      }
+    });
+  }
+  // Zero the strict upper triangle so factor() is exactly L.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) lp[i * n + j] = 0.0;
+}
+
+void DenseCholesky::forward_solve_in_place(std::span<double> b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("DenseCholesky: rhs size mismatch");
+  const double* lp = l_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* row = lp + i * n;
+    for (std::size_t j = 0; j < i; ++j) s -= row[j] * b[j];
+    b[i] = s / row[i];
+  }
+}
+
+void DenseCholesky::solve_in_place(std::span<double> b) const {
+  const std::size_t n = l_.rows();
+  forward_solve_in_place(b);
+  const double* lp = l_.data();
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lp[j * n + ii] * b[j];
+    b[ii] = s / lp[ii * n + ii];
+  }
+}
+
+void DenseCholesky::solve_in_place(Matrix& b) const {
+  if (b.rows() != l_.rows())
+    throw std::invalid_argument("DenseCholesky: rhs rows mismatch");
+  const std::size_t n = b.rows(), m = b.cols();
+  // Solve column-wise; parallel over columns.
+  parallel_for_min(m, 4, [&](std::size_t c) {
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, c);
+    solve_in_place(std::span<double>(col));
+    for (std::size_t i = 0; i < n; ++i) b(i, c) = col[i];
+  });
+}
+
+double DenseCholesky::log_det() const {
+  const std::size_t n = l_.rows();
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,41 @@
+#pragma once
+
+// Dense symmetric positive-definite Cholesky factorization and solves.
+//
+// This is the CPU stand-in for the paper's cuSOLVERMp Cholesky of the
+// data-space Hessian K = Gamma_noise + F G* (Table III: "factorize K").
+// Blocked right-looking algorithm with OpenMP-parallel trailing updates.
+
+#include <span>
+
+#include "linalg/dense.hpp"
+
+namespace tsunami {
+
+/// Cholesky factorization A = L L^T of an SPD matrix (lower triangular L).
+class DenseCholesky {
+ public:
+  /// Factorizes a copy of `a`. Throws std::runtime_error if a nonpositive
+  /// pivot is encountered (matrix not SPD to working precision).
+  explicit DenseCholesky(const Matrix& a, std::size_t block = 64);
+
+  /// Solve A x = b in place (forward + backward substitution).
+  void solve_in_place(std::span<double> b) const;
+
+  /// Solve for multiple right-hand sides stored as columns of B.
+  void solve_in_place(Matrix& b) const;
+
+  /// Solve L y = b (forward substitution only).
+  void forward_solve_in_place(std::span<double> b) const;
+
+  /// log det(A) = 2 sum log L_ii.
+  [[nodiscard]] double log_det() const;
+
+  [[nodiscard]] const Matrix& factor() const { return l_; }
+  [[nodiscard]] std::size_t dim() const { return l_.rows(); }
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace tsunami

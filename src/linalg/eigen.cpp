@@ -1,0 +1,194 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+
+namespace tsunami {
+
+std::vector<double> symmetric_eigenvalues(const Matrix& a, double tol,
+                                          int max_sweeps) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("symmetric_eigenvalues: not square");
+  const std::size_t n = a.rows();
+  Matrix w(a);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += w(i, j) * w(i, j);
+    if (std::sqrt(off) < tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = w(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = w(p, p), aqq = w(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wkp = w(k, p), wkq = w(k, q);
+          w(k, p) = c * wkp - s * wkq;
+          w(k, q) = s * wkp + c * wkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double wpk = w(p, k), wqk = w(q, k);
+          w(p, k) = c * wpk - s * wqk;
+          w(q, k) = s * wpk + c * wqk;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eigs(n);
+  for (std::size_t i = 0; i < n; ++i) eigs[i] = w(i, i);
+  std::sort(eigs.begin(), eigs.end(), std::greater<>());
+  return eigs;
+}
+
+std::vector<double> lanczos_eigenvalues(const LinearOp& a, std::size_t n,
+                                        std::size_t k, unsigned seed) {
+  const std::size_t m = std::min(n, 2 * k + 20);  // Krylov dimension
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss;
+
+  std::vector<std::vector<double>> basis;
+  std::vector<double> alpha, beta;
+
+  // Lanczos recurrence with full reorthogonalization (robust at small m).
+  std::vector<double> v(n);
+  for (auto& x : v) x = gauss(rng);
+  scal(1.0 / nrm2(v), std::span<double>(v));
+  std::vector<double> w(n);
+  std::vector<double> v_prev(n, 0.0);
+  double beta_prev = 0.0;
+
+  for (std::size_t j = 0; j < m; ++j) {
+    basis.push_back(v);
+    a(std::span<const double>(v), std::span<double>(w));
+    axpy(-beta_prev, v_prev, std::span<double>(w));
+    const double aj = dot(w, v);
+    alpha.push_back(aj);
+    axpy(-aj, v, std::span<double>(w));
+    for (const auto& u : basis) {
+      const double proj = dot(w, u);
+      axpy(-proj, u, std::span<double>(w));
+    }
+    const double bj = nrm2(w);
+    if (bj < 1e-14) break;
+    beta.push_back(bj);
+    v_prev = v;
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / bj;
+    beta_prev = bj;
+  }
+
+  // Eigenvalues of the tridiagonal via the dense Jacobi path (small).
+  const std::size_t t = alpha.size();
+  Matrix tri(t, t);
+  for (std::size_t i = 0; i < t; ++i) {
+    tri(i, i) = alpha[i];
+    if (i + 1 < t) {
+      tri(i, i + 1) = beta[i];
+      tri(i + 1, i) = beta[i];
+    }
+  }
+  auto eigs = symmetric_eigenvalues(tri);
+  if (eigs.size() > k) eigs.resize(k);
+  return eigs;
+}
+
+RandomizedEigResult randomized_eigenvalues(const LinearOp& a, std::size_t n,
+                                           std::size_t k,
+                                           std::size_t oversample,
+                                           std::size_t power_iterations,
+                                           unsigned seed) {
+  const std::size_t l = std::min(n, k + oversample);
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss;
+
+  // Range sketch Y = (A)^(q+1) Omega, orthonormalized between passes.
+  std::vector<std::vector<double>> q(l, std::vector<double>(n));
+  for (auto& col : q)
+    for (auto& x : col) x = gauss(rng);
+
+  auto orthonormalize = [&]() {
+    for (std::size_t i = 0; i < l; ++i) {
+      // Re-draw columns that collapse (happens when the operator rank is
+      // below l); the replacement must itself be orthogonalized. The
+      // collapse test is RELATIVE to the column's pre-projection norm, so
+      // roundoff residue of a dependent column is not mistaken for signal.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const double before = nrm2(q[i]);
+        for (std::size_t j = 0; j < i; ++j) {
+          const double proj = dot(q[i], q[j]);
+          axpy(-proj, q[j], std::span<double>(q[i]));
+        }
+        const double norm = nrm2(q[i]);
+        if (norm > 1e-10 * before && norm > 0.0) {
+          scal(1.0 / norm, std::span<double>(q[i]));
+          break;
+        }
+        for (auto& x : q[i]) x = gauss(rng);
+      }
+    }
+  };
+
+  std::vector<double> tmp(n);
+  for (std::size_t pass = 0; pass <= power_iterations; ++pass) {
+    orthonormalize();
+    for (auto& col : q) {
+      a(std::span<const double>(col), std::span<double>(tmp));
+      col = tmp;
+    }
+  }
+  orthonormalize();
+
+  // Projected small problem T = Q^T A Q.
+  std::vector<std::vector<double>> aq(l, std::vector<double>(n));
+  for (std::size_t i = 0; i < l; ++i)
+    a(std::span<const double>(q[i]), std::span<double>(aq[i]));
+  Matrix t(l, l);
+  for (std::size_t i = 0; i < l; ++i)
+    for (std::size_t j = 0; j < l; ++j) t(i, j) = dot(q[i], aq[j]);
+  // Symmetrize the projection against roundoff.
+  for (std::size_t i = 0; i < l; ++i)
+    for (std::size_t j = i + 1; j < l; ++j) {
+      const double v = 0.5 * (t(i, j) + t(j, i));
+      t(i, j) = v;
+      t(j, i) = v;
+    }
+
+  RandomizedEigResult result;
+  result.eigenvalues = symmetric_eigenvalues(t);
+  if (result.eigenvalues.size() > k) result.eigenvalues.resize(k);
+
+  // Residual estimate: how much of A's action escapes the subspace, probed
+  // with a fresh random vector: || (I - QQ^T) A w || / || A w ||.
+  std::vector<double> w(n);
+  for (auto& x : w) x = gauss(rng);
+  a(std::span<const double>(w), std::span<double>(tmp));
+  const double full = nrm2(tmp);
+  for (std::size_t i = 0; i < l; ++i) {
+    const double proj = dot(tmp, q[i]);
+    axpy(-proj, q[i], std::span<double>(tmp));
+  }
+  result.residual_fraction = full > 0 ? nrm2(tmp) / full : 0.0;
+  return result;
+}
+
+std::size_t effective_rank(const std::vector<double>& eigs, double threshold) {
+  if (eigs.empty()) return 0;
+  const double cutoff = threshold * eigs.front();
+  std::size_t r = 0;
+  for (double e : eigs)
+    if (e >= cutoff) ++r;
+  return r;
+}
+
+}  // namespace tsunami

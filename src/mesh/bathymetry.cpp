@@ -1,0 +1,43 @@
+#include "mesh/bathymetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace tsunami {
+
+Bathymetry::Bathymetry(const BathymetryConfig& config) : cfg_(config) {}
+
+double Bathymetry::depth(double x, double y) const {
+  const double xi = std::clamp(x / cfg_.length_x, 0.0, 1.0);
+  const double eta = std::clamp(y / cfg_.length_y, 0.0, 1.0);
+
+  // Across-margin profile: tanh ramp from abyssal plain up the continental
+  // slope onto the shelf.
+  const double s = std::tanh((xi - cfg_.slope_center) / cfg_.slope_width);
+  const double base = 0.5 * (cfg_.depth_abyssal + cfg_.depth_shelf) -
+                      0.5 * (cfg_.depth_abyssal - cfg_.depth_shelf) * s;
+
+  // Along-strike undulation, attenuated on the shelf so the coast stays
+  // shallow; phase drifts with x to avoid a separable (and thus overly
+  // symmetric) bathymetry.
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double undulation =
+      cfg_.undulation_amp * (1.0 - 0.7 * xi) *
+      std::sin(two_pi * (cfg_.undulation_waves * eta + 0.35 * xi));
+
+  return std::max(cfg_.min_depth, base + undulation);
+}
+
+BathymetryConfig flat_basin(double depth, double lx, double ly) {
+  BathymetryConfig c;
+  c.length_x = lx;
+  c.length_y = ly;
+  c.depth_abyssal = depth;
+  c.depth_shelf = depth;
+  c.undulation_amp = 0.0;
+  c.min_depth = std::min(depth, c.min_depth);
+  return c;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,73 @@
+#include "mesh/hex_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsunami {
+
+HexMesh::HexMesh(const Bathymetry& bathymetry, std::size_t nx, std::size_t ny,
+                 std::size_t nz)
+    : bathy_(bathymetry),
+      nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      lx_(bathymetry.config().length_x),
+      ly_(bathymetry.config().length_y) {
+  if (nx_ == 0 || ny_ == 0 || nz_ == 0)
+    throw std::invalid_argument("HexMesh: zero element count");
+}
+
+std::array<double, 3> HexMesh::vertex(std::size_t i, std::size_t j,
+                                      std::size_t k) const {
+  const double x = lx_ * static_cast<double>(i) / static_cast<double>(nx_);
+  const double y = ly_ * static_cast<double>(j) / static_cast<double>(ny_);
+  // Terrain-following sigma coordinate: sigma = 0 at the seafloor, 1 at the
+  // (flat) sea surface z = 0.
+  const double sigma = static_cast<double>(k) / static_cast<double>(nz_);
+  const double z = -bathy_.depth(x, y) * (1.0 - sigma);
+  return {x, y, z};
+}
+
+std::array<std::array<double, 3>, 8> HexMesh::element_vertices(
+    std::size_t e) const {
+  const auto c = element_coords(e);
+  std::array<std::array<double, 3>, 8> v;
+  for (std::size_t cz = 0; cz < 2; ++cz)
+    for (std::size_t cy = 0; cy < 2; ++cy)
+      for (std::size_t cx = 0; cx < 2; ++cx)
+        v[cx + 2 * cy + 4 * cz] = vertex(c[0] + cx, c[1] + cy, c[2] + cz);
+  return v;
+}
+
+double HexMesh::min_edge_length() const {
+  double h = std::numeric_limits<double>::max();
+  for (std::size_t e = 0; e < num_elements(); ++e) {
+    const auto v = element_vertices(e);
+    // The 12 edges of the hex, as corner-index pairs.
+    static constexpr std::array<std::array<int, 2>, 12> kEdges{{{0, 1},
+                                                                {2, 3},
+                                                                {4, 5},
+                                                                {6, 7},
+                                                                {0, 2},
+                                                                {1, 3},
+                                                                {4, 6},
+                                                                {5, 7},
+                                                                {0, 4},
+                                                                {1, 5},
+                                                                {2, 6},
+                                                                {3, 7}}};
+    for (const auto& ed : kEdges) {
+      double d2 = 0.0;
+      for (int c = 0; c < 3; ++c) {
+        const double d = v[static_cast<std::size_t>(ed[0])][static_cast<std::size_t>(c)] -
+                         v[static_cast<std::size_t>(ed[1])][static_cast<std::size_t>(c)];
+        d2 += d * d;
+      }
+      h = std::min(h, std::sqrt(d2));
+    }
+  }
+  return h;
+}
+
+}  // namespace tsunami

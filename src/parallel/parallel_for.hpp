@@ -1,0 +1,49 @@
+#pragma once
+
+// Thin OpenMP wrappers. Keeping the pragmas in one place lets the numeric
+// kernels read like serial code (Core Guidelines: isolate concurrency).
+
+#include <cstddef>
+
+#include <omp.h>
+
+namespace tsunami {
+
+/// Number of OpenMP threads the runtime will use for a parallel region.
+inline int num_threads() { return omp_get_max_threads(); }
+
+/// Parallel loop over [0, n). `body` must be safe to invoke concurrently for
+/// distinct indices. Grain control is left to the OpenMP static schedule,
+/// which is the right default for the uniform-cost loops in this codebase.
+template <typename Body>
+void parallel_for(std::size_t n, const Body& body) {
+#pragma omp parallel for schedule(static)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+}
+
+/// Parallel loop with a serial fallback below a size threshold (avoids fork
+/// overhead on tiny inner problems).
+template <typename Body>
+void parallel_for_min(std::size_t n, std::size_t min_parallel,
+                      const Body& body) {
+  if (n < min_parallel) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  } else {
+    parallel_for(n, body);
+  }
+}
+
+/// Parallel sum-reduction of `f(i)` over [0, n).
+template <typename F>
+double parallel_reduce_sum(std::size_t n, const F& f) {
+  double sum = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    sum += f(static_cast<std::size_t>(i));
+  }
+  return sum;
+}
+
+}  // namespace tsunami

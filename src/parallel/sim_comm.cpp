@@ -1,0 +1,294 @@
+#include "parallel/sim_comm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsunami {
+
+MachineProfile MachineProfile::el_capitan() {
+  // AMD MI300A: Fig. 7 saturated ~24 GDOF/s (Fused PA); Slingshot-200.
+  MachineProfile m;
+  m.name = "El Capitan (MI300A)";
+  m.gpus_per_node = 4;
+  m.peak_dof_per_s = 24e9;
+  m.half_saturation_dof = 3.0e6;
+  m.latency_s = 6e-6;
+  m.bandwidth_bytes_per_s = 100e9;
+  return m;
+}
+
+MachineProfile MachineProfile::alps() {
+  // NVIDIA GH200: Fig. 7 right panel saturates near ~29 GDOF/s; Slingshot-11.
+  MachineProfile m;
+  m.name = "Alps (GH200)";
+  m.gpus_per_node = 4;
+  m.peak_dof_per_s = 29e9;
+  m.half_saturation_dof = 2.5e6;
+  m.latency_s = 7e-6;
+  m.bandwidth_bytes_per_s = 90e9;
+  return m;
+}
+
+MachineProfile MachineProfile::perlmutter() {
+  // NVIDIA A100 (40 GB): lower memory bandwidth -> ~1/3 of GH200 throughput.
+  MachineProfile m;
+  m.name = "Perlmutter (A100)";
+  m.gpus_per_node = 4;
+  m.peak_dof_per_s = 10e9;
+  m.half_saturation_dof = 2.0e6;
+  m.latency_s = 8e-6;
+  m.bandwidth_bytes_per_s = 80e9;
+  return m;
+}
+
+MachineProfile MachineProfile::local_cpu(double measured_dof_per_s) {
+  MachineProfile m;
+  m.name = "local CPU";
+  m.gpus_per_node = 1;
+  m.peak_dof_per_s = measured_dof_per_s;
+  m.half_saturation_dof = 1.0e4;
+  m.latency_s = 1e-7;  // in-memory "network"
+  m.bandwidth_bytes_per_s = 10e9;
+  return m;
+}
+
+ScalingSimulator::ScalingSimulator(MachineProfile machine, double dofs_per_cell,
+                                   double bytes_per_face)
+    : machine_(std::move(machine)),
+      dofs_per_cell_(dofs_per_cell),
+      bytes_per_face_(bytes_per_face) {
+  if (dofs_per_cell_ <= 0 || bytes_per_face_ <= 0)
+    throw std::invalid_argument("ScalingSimulator: nonpositive cost inputs");
+}
+
+double ScalingSimulator::throughput_at(double local_dof) const {
+  // Saturation curve matching the measured shape of Fig. 7: throughput rises
+  // with problem size and plateaus at peak once the device is filled.
+  return machine_.peak_dof_per_s * local_dof /
+         (local_dof + machine_.half_saturation_dof);
+}
+
+StepCost ScalingSimulator::timestep(std::array<std::size_t, 3> cells,
+                                    std::size_t ranks) const {
+  const auto shape = choose_grid_3d(cells, ranks);
+  const GridPartition3D grid(cells, shape);
+
+  // RK4: four stage evaluations per step, each applying the two key kernels
+  // (gradient and divergence, Fig. 7) and exchanging the halo once.
+  constexpr int kKernelPassesPerStep = 8;
+  constexpr int kExchangesPerStep = 4;
+  double max_compute = 0.0;
+  double max_comm = 0.0;
+  for (std::size_t r = 0; r < grid.num_ranks(); ++r) {
+    const double local_dof =
+        static_cast<double>(grid.local_cells(r)) * dofs_per_cell_;
+    const double compute =
+        kKernelPassesPerStep * local_dof / throughput_at(local_dof);
+
+    const double msgs = static_cast<double>(grid.face_neighbors(r).size()) *
+                        kExchangesPerStep;
+    const double bytes = static_cast<double>(grid.halo_faces(r)) *
+                         bytes_per_face_ * kExchangesPerStep;
+    const double comm =
+        msgs * machine_.latency_s + bytes / machine_.bandwidth_bytes_per_s;
+
+    max_compute = std::max(max_compute, compute);
+    max_comm = std::max(max_comm, comm);
+  }
+
+  StepCost c;
+  c.compute_s = max_compute;
+  c.comm_s = max_comm;
+  c.total_s = max_compute + max_comm;
+
+  // Efficiency vs. an ideal single rank holding the max local size with no
+  // communication (the weak-scaling reference).
+  double max_local_dof = 0.0;
+  for (std::size_t r = 0; r < grid.num_ranks(); ++r)
+    max_local_dof = std::max(
+        max_local_dof, static_cast<double>(grid.local_cells(r)) * dofs_per_cell_);
+  const double ref = kKernelPassesPerStep * max_local_dof / throughput_at(max_local_dof);
+  c.efficiency = ref / c.total_s;
+  return c;
+}
+
+std::vector<StepCost> ScalingSimulator::weak_scaling(
+    std::array<std::size_t, 3> local_cells,
+    const std::vector<std::size_t>& rank_counts) const {
+  std::vector<StepCost> out;
+  out.reserve(rank_counts.size());
+  for (std::size_t p : rank_counts) {
+    // Grow the global box by replicating the local box over the rank grid.
+    const auto shape = choose_grid_2d(p);  // grow in x-y (margin-wide, like CSZ)
+    const std::array<std::size_t, 3> cells{local_cells[0] * shape[0],
+                                           local_cells[1] * shape[1],
+                                           local_cells[2]};
+    out.push_back(timestep(cells, p));
+  }
+  if (!out.empty()) {
+    const double t1 = out.front().total_s;
+    for (auto& c : out) c.efficiency = t1 / c.total_s;
+  }
+  return out;
+}
+
+std::vector<StepCost> ScalingSimulator::strong_scaling(
+    std::array<std::size_t, 3> global_cells,
+    const std::vector<std::size_t>& rank_counts) const {
+  std::vector<StepCost> out;
+  out.reserve(rank_counts.size());
+  for (std::size_t p : rank_counts) out.push_back(timestep(global_cells, p));
+  if (!out.empty()) {
+    const double ref =
+        out.front().total_s * static_cast<double>(rank_counts.front());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i].efficiency =
+          ref / (out[i].total_s * static_cast<double>(rank_counts[i]));
+  }
+  return out;
+}
+
+namespace {
+
+struct LocalBoxDims {
+  std::size_t sx, sy, sz;  // owned extents
+  std::size_t gx, gy, gz;  // storage extents incl. ghost layer
+};
+
+LocalBoxDims dims_of(const GridPartition3D& part, std::size_t rank) {
+  const auto box = part.local_box(rank);
+  LocalBoxDims d;
+  d.sx = box[0].size();
+  d.sy = box[1].size();
+  d.sz = box[2].size();
+  d.gx = d.sx + 2;
+  d.gy = d.sy + 2;
+  d.gz = d.sz + 2;
+  return d;
+}
+
+}  // namespace
+
+HaloExchange3D::HaloExchange3D(GridPartition3D partition)
+    : part_(std::move(partition)) {}
+
+std::vector<double> HaloExchange3D::make_local_field(std::size_t rank) const {
+  const auto d = dims_of(part_, rank);
+  return std::vector<double>(d.gx * d.gy * d.gz, 0.0);
+}
+
+std::size_t HaloExchange3D::local_index(std::size_t rank, std::size_t ix,
+                                        std::size_t iy, std::size_t iz) const {
+  const auto d = dims_of(part_, rank);
+  return (ix + 1) + d.gx * ((iy + 1) + d.gy * (iz + 1));
+}
+
+std::vector<std::vector<double>> HaloExchange3D::scatter(
+    const std::vector<double>& global) const {
+  const auto& cells = part_.cells();
+  if (global.size() != cells[0] * cells[1] * cells[2])
+    throw std::invalid_argument("HaloExchange3D::scatter: size mismatch");
+  std::vector<std::vector<double>> locals(part_.num_ranks());
+  for (std::size_t r = 0; r < part_.num_ranks(); ++r) {
+    locals[r] = make_local_field(r);
+    const auto box = part_.local_box(r);
+    for (std::size_t z = 0; z < box[2].size(); ++z)
+      for (std::size_t y = 0; y < box[1].size(); ++y)
+        for (std::size_t x = 0; x < box[0].size(); ++x) {
+          const std::size_t gx = box[0].begin + x;
+          const std::size_t gy = box[1].begin + y;
+          const std::size_t gz = box[2].begin + z;
+          locals[r][local_index(r, x, y, z)] =
+              global[gx + cells[0] * (gy + cells[1] * gz)];
+        }
+  }
+  return locals;
+}
+
+std::size_t HaloExchange3D::exchange(
+    std::vector<std::vector<double>>& locals) const {
+  std::size_t bytes_moved = 0;
+  // For each rank and each of its +x/+y/+z neighbours, exchange the shared
+  // face in both directions through explicit pack buffers (the "wire").
+  for (std::size_t r = 0; r < part_.num_ranks(); ++r) {
+    const auto c = part_.coords(r);
+    const auto dr = dims_of(part_, r);
+    const auto& procs = part_.procs();
+    for (int axis = 0; axis < 3; ++axis) {
+      if (c[axis] + 1 >= procs[axis]) continue;
+      auto nc = c;
+      nc[axis] += 1;
+      const std::size_t n =
+          nc[0] + procs[0] * (nc[1] + procs[1] * nc[2]);
+      const auto dn = dims_of(part_, n);
+
+      // Face extents in the two tangential directions.
+      const int t1 = (axis + 1) % 3;
+      const int t2 = (axis + 2) % 3;
+      const std::size_t ext_r[3] = {dr.sx, dr.sy, dr.sz};
+      const std::size_t e1 = ext_r[t1];
+      const std::size_t e2 = ext_r[t2];
+      const std::size_t ext_n[3] = {dn.sx, dn.sy, dn.sz};
+      if (ext_n[t1] != e1 || ext_n[t2] != e2)
+        throw std::runtime_error("HaloExchange3D: non-conforming face");
+
+      std::vector<double> send_hi(e1 * e2);  // r's high face -> n's low ghost
+      std::vector<double> send_lo(e1 * e2);  // n's low face  -> r's high ghost
+      auto idx = [&](std::size_t rank, std::size_t a, std::size_t b1,
+                     std::size_t b2) {
+        std::size_t xyz[3];
+        xyz[axis] = a;
+        xyz[t1] = b1;
+        xyz[t2] = b2;
+        return local_index(rank, xyz[0], xyz[1], xyz[2]);
+      };
+
+      const std::size_t last_r = ext_r[axis] - 1;
+      for (std::size_t b2 = 0; b2 < e2; ++b2)
+        for (std::size_t b1 = 0; b1 < e1; ++b1) {
+          send_hi[b1 + e1 * b2] = locals[r][idx(r, last_r, b1, b2)];
+          send_lo[b1 + e1 * b2] = locals[n][idx(n, 0, b1, b2)];
+        }
+      // Unpack into ghost layers: ghost index -1 encoded as owned index
+      // (std::size_t)(-1)+1 = storage slot 0, handled via local_index offset.
+      for (std::size_t b2 = 0; b2 < e2; ++b2)
+        for (std::size_t b1 = 0; b1 < e1; ++b1) {
+          // n's low ghost (owned coord -1 along axis).
+          std::size_t xyz[3];
+          xyz[axis] = static_cast<std::size_t>(-1);
+          xyz[t1] = b1;
+          xyz[t2] = b2;
+          locals[n][local_index(n, xyz[0], xyz[1], xyz[2])] =
+              send_hi[b1 + e1 * b2];
+          // r's high ghost (owned coord ext along axis).
+          xyz[axis] = ext_r[axis];
+          locals[r][local_index(r, xyz[0], xyz[1], xyz[2])] =
+              send_lo[b1 + e1 * b2];
+        }
+      bytes_moved += 2 * e1 * e2 * sizeof(double);
+    }
+  }
+  return bytes_moved;
+}
+
+std::vector<double> HaloExchange3D::gather(
+    const std::vector<std::vector<double>>& locals) const {
+  const auto& cells = part_.cells();
+  std::vector<double> global(cells[0] * cells[1] * cells[2], 0.0);
+  for (std::size_t r = 0; r < part_.num_ranks(); ++r) {
+    const auto box = part_.local_box(r);
+    for (std::size_t z = 0; z < box[2].size(); ++z)
+      for (std::size_t y = 0; y < box[1].size(); ++y)
+        for (std::size_t x = 0; x < box[0].size(); ++x) {
+          const std::size_t gx = box[0].begin + x;
+          const std::size_t gy = box[1].begin + y;
+          const std::size_t gz = box[2].begin + z;
+          global[gx + cells[0] * (gy + cells[1] * gz)] =
+              locals[r][local_index(r, x, y, z)];
+        }
+  }
+  return global;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,128 @@
+#pragma once
+
+// Simulated distributed runtime for the scaling studies (Fig. 5 / Table II).
+//
+// This container has no interconnect, so full-machine runs are reproduced by
+// substitution (see DESIGN.md): the domain decomposition and halo-exchange
+// pack/unpack are REAL code paths executed through in-memory buffers, while
+// the wire itself is an alpha-beta (latency-bandwidth) model parameterized by
+// published characteristics of the paper's three systems (El Capitan, Alps,
+// Perlmutter). Per-rank kernel time uses the saturation-throughput curve that
+// bench_kernel_throughput measures for real kernels (Fig. 7's shape):
+// smaller per-rank problems run below peak throughput, which is exactly what
+// degrades strong scaling in the paper's Fig. 5.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "parallel/partition.hpp"
+
+namespace tsunami {
+
+/// Per-system performance parameters used by the scaling model.
+struct MachineProfile {
+  std::string name;
+  std::size_t gpus_per_node = 4;
+  /// Saturated per-device operator throughput in DOF/s (Fig. 7 regime).
+  double peak_dof_per_s = 24e9;
+  /// Problem size at which a device reaches half of peak throughput; controls
+  /// the strong-scaling rolloff (launch overheads / underfilled kernels).
+  double half_saturation_dof = 2.0e6;
+  /// Point-to-point message latency (s) including launch/progress overhead.
+  double latency_s = 8e-6;
+  /// Effective point-to-point bandwidth (bytes/s).
+  double bandwidth_bytes_per_s = 90e9;
+
+  /// Paper-relevant presets.
+  static MachineProfile el_capitan();
+  static MachineProfile alps();
+  static MachineProfile perlmutter();
+  /// Calibrated from this container (used for model-vs-measured tests).
+  static MachineProfile local_cpu(double measured_dof_per_s);
+};
+
+/// Result of simulating one RK4 timestep of the wave solver on a partition.
+struct StepCost {
+  double compute_s = 0.0;   ///< max over ranks of local kernel time
+  double comm_s = 0.0;      ///< max over ranks of halo-exchange time
+  double total_s = 0.0;     ///< compute + comm
+  double efficiency = 0.0;  ///< vs. a single rank holding the same local size
+};
+
+/// Scaling simulator for the acoustic-gravity RK4 solver.
+class ScalingSimulator {
+ public:
+  /// `dofs_per_cell`: states per hex element (depends on FE order);
+  /// `bytes_per_face`: halo bytes exchanged per shared element face per
+  /// operator application (pressure + velocity traces, FP64).
+  ScalingSimulator(MachineProfile machine, double dofs_per_cell,
+                   double bytes_per_face);
+
+  /// Predicted wall time for one RK4 timestep (4 operator applications, each
+  /// followed by a halo exchange) of the mesh `cells` on `ranks` devices.
+  [[nodiscard]] StepCost timestep(std::array<std::size_t, 3> cells,
+                                  std::size_t ranks) const;
+
+  /// Weak scaling: local mesh box fixed per rank, ranks swept. Returns one
+  /// StepCost per entry of `rank_counts`; `efficiency` is t(1-equivalent)/t.
+  [[nodiscard]] std::vector<StepCost> weak_scaling(
+      std::array<std::size_t, 3> local_cells,
+      const std::vector<std::size_t>& rank_counts) const;
+
+  /// Strong scaling: global mesh fixed, ranks swept. `efficiency` is
+  /// (t_first * r_first) / (t * r) relative to the first entry.
+  [[nodiscard]] std::vector<StepCost> strong_scaling(
+      std::array<std::size_t, 3> global_cells,
+      const std::vector<std::size_t>& rank_counts) const;
+
+  [[nodiscard]] const MachineProfile& machine() const { return machine_; }
+
+  /// Device throughput (DOF/s) at local problem size n (saturation curve).
+  [[nodiscard]] double throughput_at(double local_dof) const;
+
+ private:
+  MachineProfile machine_;
+  double dofs_per_cell_;
+  double bytes_per_face_;
+};
+
+/// Real halo exchange over in-memory rank buffers: each rank owns a
+/// (nx x ny x nz) sub-box of a global structured scalar field plus one ghost
+/// layer; exchange() copies boundary faces between neighbouring ranks through
+/// explicit pack/send/unpack buffers, exactly as an MPI implementation would.
+/// Used to validate the decomposition code path against the serial field.
+class HaloExchange3D {
+ public:
+  HaloExchange3D(GridPartition3D partition);
+
+  /// Local field storage for `rank`, including one ghost layer on faces that
+  /// have a neighbour: dimensions (sx+2) x (sy+2) x (sz+2) with the owned box
+  /// at offset 1 (ghost slots unused on physical boundaries).
+  [[nodiscard]] std::vector<double> make_local_field(std::size_t rank) const;
+
+  /// Index into a local field created by make_local_field.
+  [[nodiscard]] std::size_t local_index(std::size_t rank, std::size_t ix,
+                                        std::size_t iy, std::size_t iz) const;
+
+  /// Scatter a global field (cells[0]*cells[1]*cells[2], x-fastest) into
+  /// per-rank local fields (ghosts unfilled).
+  [[nodiscard]] std::vector<std::vector<double>> scatter(
+      const std::vector<double>& global) const;
+
+  /// Exchange ghost faces between all ranks (pack -> buffer -> unpack).
+  /// Returns total bytes moved (for cross-checking the cost model).
+  std::size_t exchange(std::vector<std::vector<double>>& locals) const;
+
+  /// Gather owned boxes back into a global field.
+  [[nodiscard]] std::vector<double> gather(
+      const std::vector<std::vector<double>>& locals) const;
+
+  [[nodiscard]] const GridPartition3D& partition() const { return part_; }
+
+ private:
+  GridPartition3D part_;
+};
+
+}  // namespace tsunami

@@ -1,0 +1,119 @@
+#include "rupture/scenario.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace tsunami {
+
+RuptureConfig margin_wide_scenario(double lx, double ly, double magnitude,
+                                   unsigned seed) {
+  Rng rng(seed);
+  RuptureConfig cfg;
+  // Peak uplift scaling: ~3 m at Mw 8.7, exponential in magnitude (moment
+  // scales as 10^{1.5 Mw}; uplift roughly with slip ~ M0^{1/3}-ish; we use a
+  // gentle calibration adequate for synthetic scenarios).
+  const double peak = 3.0 * std::pow(10.0, 0.5 * (magnitude - 8.7));
+
+  // 3-5 asperities strung along strike over the locked zone (the seaward
+  // half of the margin), with varying sizes and amplitudes.
+  const std::size_t count = 3 + rng.index(3);
+  for (std::size_t i = 0; i < count; ++i) {
+    Asperity a;
+    const double fy =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(count);
+    a.y0 = ly * (fy + 0.08 * (rng.uniform() - 0.5));
+    a.x0 = lx * (0.30 + 0.15 * rng.uniform());  // over the locked interface
+    a.ry = ly / static_cast<double>(count) * (0.45 + 0.25 * rng.uniform());
+    a.rx = lx * (0.12 + 0.08 * rng.uniform());
+    a.peak_uplift = peak * (0.6 + 0.4 * rng.uniform());
+    a.angle = 0.25 * (rng.uniform() - 0.5);
+    cfg.asperities.push_back(a);
+  }
+  cfg.hypocenter_x = lx * 0.35;
+  cfg.hypocenter_y = ly * 0.5;
+  cfg.rupture_speed = 2500.0;
+  cfg.rise_time = 15.0;
+  return cfg;
+}
+
+RuptureScenario::RuptureScenario(RuptureConfig config)
+    : cfg_(std::move(config)) {}
+
+namespace {
+
+/// Smooth compact bump: exp(1 - 1/(1 - r^2)) inside r < 1, else 0.
+double bump(double r2) {
+  if (r2 >= 1.0) return 0.0;
+  return std::exp(1.0 - 1.0 / (1.0 - r2));
+}
+
+/// Smooth ramp: integral-normalized raised cosine over [0, tau].
+/// ramp(s) = 0 for s <= 0, 1 for s >= tau.
+double ramp(double s, double tau) {
+  if (s <= 0.0) return 0.0;
+  if (s >= tau) return 1.0;
+  return 0.5 * (1.0 - std::cos(std::numbers::pi * s / tau));
+}
+
+/// d/ds of ramp.
+double ramp_rate(double s, double tau) {
+  if (s <= 0.0 || s >= tau) return 0.0;
+  return 0.5 * std::numbers::pi / tau *
+         std::sin(std::numbers::pi * s / tau);
+}
+
+double asperity_shape(const Asperity& a, double x, double y) {
+  const double ca = std::cos(a.angle), sa = std::sin(a.angle);
+  const double dx = x - a.x0, dy = y - a.y0;
+  const double u = (ca * dx + sa * dy) / a.rx;
+  const double v = (-sa * dx + ca * dy) / a.ry;
+  return a.peak_uplift * bump(u * u + v * v);
+}
+
+}  // namespace
+
+double RuptureScenario::onset_time(double x, double y) const {
+  const double dx = x - cfg_.hypocenter_x;
+  const double dy = y - cfg_.hypocenter_y;
+  return std::sqrt(dx * dx + dy * dy) / cfg_.rupture_speed;
+}
+
+double RuptureScenario::final_uplift(double x, double y) const {
+  double b = 0.0;
+  for (const auto& a : cfg_.asperities) b += asperity_shape(a, x, y);
+  return b;
+}
+
+double RuptureScenario::uplift(double x, double y, double t) const {
+  const double t0 = onset_time(x, y);
+  const double frac = ramp(t - t0, cfg_.rise_time);
+  if (frac == 0.0) return 0.0;
+  return final_uplift(x, y) * frac;
+}
+
+double RuptureScenario::uplift_velocity(double x, double y, double t) const {
+  const double t0 = onset_time(x, y);
+  const double rate = ramp_rate(t - t0, cfg_.rise_time);
+  if (rate == 0.0) return 0.0;
+  return final_uplift(x, y) * rate;
+}
+
+std::vector<double> RuptureScenario::sample(const BottomSourceMap& grid,
+                                            const TimeGrid& time) const {
+  const std::size_t nm = grid.parameter_dim();
+  const std::size_t nt = time.num_intervals;
+  std::vector<double> m(nm * nt, 0.0);
+  const double dt_obs = time.interval();
+  for (std::size_t i = 0; i < nt; ++i) {
+    const double t_mid = (static_cast<double>(i) + 0.5) * dt_obs;
+    for (std::size_t r = 0; r < nm; ++r) {
+      const auto xy = grid.node_xy(r);
+      m[i * nm + r] = uplift_velocity(xy[0], xy[1], t_mid);
+    }
+  }
+  return m;
+}
+
+}  // namespace tsunami

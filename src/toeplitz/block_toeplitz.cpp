@@ -1,0 +1,202 @@
+#include "toeplitz/block_toeplitz.hpp"
+
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace tsunami {
+
+BlockToeplitz::BlockToeplitz(std::size_t rows, std::size_t cols,
+                             std::size_t nblocks,
+                             std::span<const double> blocks)
+    : rows_(rows),
+      cols_(cols),
+      nt_(nblocks),
+      fft_len_(next_pow2(2 * nblocks)),
+      nfreq_(fft_len_ / 2 + 1),
+      plan_(fft_len_) {
+  if (blocks.size() != rows * cols * nblocks)
+    throw std::invalid_argument("BlockToeplitz: block array size mismatch");
+  fhat_.assign(nfreq_ * rows_ * cols_, Complex(0.0, 0.0));
+  // One length-L FFT per (r, c) entry sequence. Parallel over entries.
+  parallel_for(rows_ * cols_, [&](std::size_t rc) {
+    const std::size_t r = rc / cols_;
+    const std::size_t c = rc % cols_;
+    std::vector<Complex> tmp(fft_len_, Complex(0.0, 0.0));
+    for (std::size_t k = 0; k < nt_; ++k)
+      tmp[k] = Complex(blocks[(k * rows_ + r) * cols_ + c], 0.0);
+    plan_.forward(std::span<Complex>(tmp));
+    for (std::size_t w = 0; w < nfreq_; ++w)
+      fhat_[(w * rows_ + r) * cols_ + c] = tmp[w];
+  });
+}
+
+void BlockToeplitz::set_keep_blocks(std::span<const double> blocks) {
+  if (blocks.size() != rows_ * cols_ * nt_)
+    throw std::invalid_argument("set_keep_blocks: size mismatch");
+  blocks_.assign(blocks.begin(), blocks.end());
+}
+
+void BlockToeplitz::forward_channels(std::span<const double> x,
+                                     std::size_t nchan, std::size_t nrhs,
+                                     std::vector<Complex>& xhat) const {
+  // x: time-major with nrhs columns: x[(t * nchan + c) * nrhs + v].
+  // xhat: [(w * nchan + c) * nrhs + v], half spectrum.
+  xhat.assign(nfreq_ * nchan * nrhs, Complex(0.0, 0.0));
+  parallel_for(nchan * nrhs, [&](std::size_t cv) {
+    const std::size_t c = cv / nrhs;
+    const std::size_t v = cv % nrhs;
+    std::vector<Complex> tmp(fft_len_, Complex(0.0, 0.0));
+    for (std::size_t t = 0; t < nt_; ++t)
+      tmp[t] = Complex(x[(t * nchan + c) * nrhs + v], 0.0);
+    plan_.forward(std::span<Complex>(tmp));
+    for (std::size_t w = 0; w < nfreq_; ++w)
+      xhat[(w * nchan + c) * nrhs + v] = tmp[w];
+  });
+}
+
+void BlockToeplitz::inverse_channels(const std::vector<Complex>& yhat,
+                                     std::size_t nchan, std::size_t nrhs,
+                                     std::span<double> y) const {
+  // Rebuild the full spectrum from conjugate symmetry, inverse FFT, keep the
+  // first nt_ (real) samples.
+  parallel_for(nchan * nrhs, [&](std::size_t cv) {
+    const std::size_t c = cv / nrhs;
+    const std::size_t v = cv % nrhs;
+    std::vector<Complex> tmp(fft_len_);
+    for (std::size_t w = 0; w < nfreq_; ++w)
+      tmp[w] = yhat[(w * nchan + c) * nrhs + v];
+    for (std::size_t w = nfreq_; w < fft_len_; ++w)
+      tmp[w] = std::conj(tmp[fft_len_ - w]);
+    plan_.inverse(std::span<Complex>(tmp));
+    for (std::size_t t = 0; t < nt_; ++t)
+      y[(t * nchan + c) * nrhs + v] = tmp[t].real();
+  });
+}
+
+void BlockToeplitz::apply(std::span<const double> x,
+                          std::span<double> y) const {
+  if (x.size() != input_dim() || y.size() != output_dim())
+    throw std::invalid_argument("BlockToeplitz::apply: size mismatch");
+  std::vector<Complex> xhat;
+  forward_channels(x, cols_, 1, xhat);
+  std::vector<Complex> yhat(nfreq_ * rows_, Complex(0.0, 0.0));
+  // Per-frequency block matvec Y(w) = Fhat(w) X(w).
+  parallel_for(nfreq_, [&](std::size_t w) {
+    const Complex* fw = fhat_.data() + w * rows_ * cols_;
+    const Complex* xw = xhat.data() + w * cols_;
+    Complex* yw = yhat.data() + w * rows_;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      Complex s(0.0, 0.0);
+      const Complex* frow = fw + r * cols_;
+      for (std::size_t c = 0; c < cols_; ++c) s += frow[c] * xw[c];
+      yw[r] = s;
+    }
+  });
+  inverse_channels(yhat, rows_, 1, y);
+}
+
+void BlockToeplitz::apply_transpose(std::span<const double> x,
+                                    std::span<double> y) const {
+  if (x.size() != output_dim() || y.size() != input_dim())
+    throw std::invalid_argument("BlockToeplitz::apply_transpose: mismatch");
+  std::vector<Complex> xhat;
+  forward_channels(x, rows_, 1, xhat);
+  std::vector<Complex> yhat(nfreq_ * cols_, Complex(0.0, 0.0));
+  // Per-frequency Y(w) = Fhat(w)^H X(w) (cyclic correlation).
+  parallel_for(nfreq_, [&](std::size_t w) {
+    const Complex* fw = fhat_.data() + w * rows_ * cols_;
+    const Complex* xw = xhat.data() + w * rows_;
+    Complex* yw = yhat.data() + w * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) yw[c] = Complex(0.0, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const Complex xr = xw[r];
+      const Complex* frow = fw + r * cols_;
+      for (std::size_t c = 0; c < cols_; ++c)
+        yw[c] += std::conj(frow[c]) * xr;
+    }
+  });
+  inverse_channels(yhat, cols_, 1, y);
+}
+
+void BlockToeplitz::apply_many(const Matrix& x_cols, Matrix& y_cols) const {
+  const std::size_t nrhs = x_cols.cols();
+  if (x_cols.rows() != input_dim())
+    throw std::invalid_argument("apply_many: input rows mismatch");
+  y_cols = Matrix(output_dim(), nrhs);
+  std::vector<Complex> xhat;
+  forward_channels(std::span<const double>(x_cols.data(), x_cols.size()),
+                   cols_, nrhs, xhat);
+  std::vector<Complex> yhat(nfreq_ * rows_ * nrhs, Complex(0.0, 0.0));
+  // Per-frequency complex GEMM: Y(w)[rows x nrhs] = Fhat(w) X(w)[cols x nrhs].
+  parallel_for(nfreq_, [&](std::size_t w) {
+    const Complex* fw = fhat_.data() + w * rows_ * cols_;
+    const Complex* xw = xhat.data() + w * cols_ * nrhs;
+    Complex* yw = yhat.data() + w * rows_ * nrhs;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      Complex* yrow = yw + r * nrhs;
+      const Complex* frow = fw + r * cols_;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        const Complex f = frow[c];
+        if (f == Complex(0.0, 0.0)) continue;
+        const Complex* xrow = xw + c * nrhs;
+        for (std::size_t v = 0; v < nrhs; ++v) yrow[v] += f * xrow[v];
+      }
+    }
+  });
+  inverse_channels(yhat, rows_, nrhs,
+                   std::span<double>(y_cols.data(), y_cols.size()));
+}
+
+void BlockToeplitz::apply_transpose_many(const Matrix& x_cols,
+                                         Matrix& y_cols) const {
+  const std::size_t nrhs = x_cols.cols();
+  if (x_cols.rows() != output_dim())
+    throw std::invalid_argument("apply_transpose_many: input rows mismatch");
+  y_cols = Matrix(input_dim(), nrhs);
+  std::vector<Complex> xhat;
+  forward_channels(std::span<const double>(x_cols.data(), x_cols.size()),
+                   rows_, nrhs, xhat);
+  std::vector<Complex> yhat(nfreq_ * cols_ * nrhs, Complex(0.0, 0.0));
+  parallel_for(nfreq_, [&](std::size_t w) {
+    const Complex* fw = fhat_.data() + w * rows_ * cols_;
+    const Complex* xw = xhat.data() + w * rows_ * nrhs;
+    Complex* yw = yhat.data() + w * cols_ * nrhs;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const Complex* xrow = xw + r * nrhs;
+      const Complex* frow = fw + r * cols_;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        const Complex f = std::conj(frow[c]);
+        if (f == Complex(0.0, 0.0)) continue;
+        Complex* yrow = yw + c * nrhs;
+        for (std::size_t v = 0; v < nrhs; ++v) yrow[v] += f * xrow[v];
+      }
+    }
+  });
+  inverse_channels(yhat, cols_, nrhs,
+                   std::span<double>(y_cols.data(), y_cols.size()));
+}
+
+void BlockToeplitz::apply_dense_reference(std::span<const double> x,
+                                          std::span<double> y) const {
+  if (blocks_.empty())
+    throw std::logic_error(
+        "apply_dense_reference: call set_keep_blocks first");
+  if (x.size() != input_dim() || y.size() != output_dim())
+    throw std::invalid_argument("apply_dense_reference: size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t i = 0; i < nt_; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double* fk = blocks_.data() + (i - j) * rows_ * cols_;
+      const double* xj = x.data() + j * cols_;
+      double* yi = y.data() + i * rows_;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        double s = 0.0;
+        const double* frow = fk + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) s += frow[c] * xj[c];
+        yi[r] += s;
+      }
+    }
+}
+
+}  // namespace tsunami

@@ -1,0 +1,116 @@
+#include "util/io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace tsunami {
+
+namespace {
+
+constexpr std::uint64_t kMatrixMagic = 0x54534d4154524958ULL;  // "TSMATRIX"
+constexpr std::uint64_t kVectorMagic = 0x545356454354'4f52ULL;
+constexpr std::uint64_t kP2oMagic = 0x5453'50324f'4d4150ULL;
+
+void write_u64(std::ofstream& f, std::uint64_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& f) {
+  std::uint64_t v = 0;
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_doubles(std::ofstream& f, const double* p, std::size_t n) {
+  f.write(reinterpret_cast<const char*>(p),
+          static_cast<std::streamsize>(n * sizeof(double)));
+}
+
+void read_doubles(std::ifstream& f, double* p, std::size_t n) {
+  f.read(reinterpret_cast<char*>(p),
+         static_cast<std::streamsize>(n * sizeof(double)));
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("io: cannot open for write: " + path);
+  return f;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("io: cannot open for read: " + path);
+  return f;
+}
+
+void expect_magic(std::ifstream& f, std::uint64_t magic,
+                  const std::string& path) {
+  if (read_u64(f) != magic)
+    throw std::runtime_error("io: bad file signature: " + path);
+}
+
+}  // namespace
+
+void save_matrix(const std::string& path, const Matrix& m) {
+  auto f = open_out(path);
+  write_u64(f, kMatrixMagic);
+  write_u64(f, m.rows());
+  write_u64(f, m.cols());
+  write_doubles(f, m.data(), m.size());
+  if (!f) throw std::runtime_error("io: write failed: " + path);
+}
+
+Matrix load_matrix(const std::string& path) {
+  auto f = open_in(path);
+  expect_magic(f, kMatrixMagic, path);
+  const std::uint64_t rows = read_u64(f);
+  const std::uint64_t cols = read_u64(f);
+  Matrix m(rows, cols);
+  read_doubles(f, m.data(), m.size());
+  if (!f) throw std::runtime_error("io: truncated matrix file: " + path);
+  return m;
+}
+
+void save_vector(const std::string& path, const std::vector<double>& v) {
+  auto f = open_out(path);
+  write_u64(f, kVectorMagic);
+  write_u64(f, v.size());
+  write_doubles(f, v.data(), v.size());
+  if (!f) throw std::runtime_error("io: write failed: " + path);
+}
+
+std::vector<double> load_vector(const std::string& path) {
+  auto f = open_in(path);
+  expect_magic(f, kVectorMagic, path);
+  std::vector<double> v(read_u64(f));
+  read_doubles(f, v.data(), v.size());
+  if (!f) throw std::runtime_error("io: truncated vector file: " + path);
+  return v;
+}
+
+void save_p2o(const std::string& path, const P2oArchive& archive) {
+  if (archive.blocks.size() != archive.nrows * archive.ncols * archive.nt)
+    throw std::invalid_argument("save_p2o: block array size mismatch");
+  auto f = open_out(path);
+  write_u64(f, kP2oMagic);
+  write_u64(f, archive.nrows);
+  write_u64(f, archive.ncols);
+  write_u64(f, archive.nt);
+  write_doubles(f, archive.blocks.data(), archive.blocks.size());
+  if (!f) throw std::runtime_error("io: write failed: " + path);
+}
+
+P2oArchive load_p2o(const std::string& path) {
+  auto f = open_in(path);
+  expect_magic(f, kP2oMagic, path);
+  P2oArchive a;
+  a.nrows = read_u64(f);
+  a.ncols = read_u64(f);
+  a.nt = read_u64(f);
+  a.blocks.resize(a.nrows * a.ncols * a.nt);
+  read_doubles(f, a.blocks.data(), a.blocks.size());
+  if (!f) throw std::runtime_error("io: truncated p2o file: " + path);
+  return a;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,41 @@
+#pragma once
+
+// Binary serialization of the offline-phase artifacts.
+//
+// The paper's deployment story (SecVIII) separates WHERE things are
+// computed: Phases 1-3 run once on an HPC system and their products — the
+// p2o/p2q block columns, the Cholesky factor of K, the data-to-QoI operator
+// Q — are small enough to ship to a warning center that runs Phase 4 with
+// no HPC at all. This module is that shipping format: a simple
+// magic-tagged, dimension-checked binary container (host-endian; the
+// warning center and the HPC system share architecture in deployment).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace tsunami {
+
+/// Write/read a dense matrix with shape header. Throws std::runtime_error
+/// on I/O failure or signature mismatch.
+void save_matrix(const std::string& path, const Matrix& m);
+[[nodiscard]] Matrix load_matrix(const std::string& path);
+
+/// Write/read a raw vector with length header.
+void save_vector(const std::string& path, const std::vector<double>& v);
+[[nodiscard]] std::vector<double> load_vector(const std::string& path);
+
+/// The block Toeplitz first block column (Phase 1 product): dims + blocks.
+struct P2oArchive {
+  std::uint64_t nrows = 0;  ///< Nd (or Nq)
+  std::uint64_t ncols = 0;  ///< Nm
+  std::uint64_t nt = 0;     ///< Nt
+  std::vector<double> blocks;
+};
+
+void save_p2o(const std::string& path, const P2oArchive& archive);
+[[nodiscard]] P2oArchive load_p2o(const std::string& path);
+
+}  // namespace tsunami

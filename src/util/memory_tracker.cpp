@@ -1,0 +1,40 @@
+#include "util/memory_tracker.hpp"
+
+#include <algorithm>
+
+namespace tsunami {
+
+void MemoryTracker::add(const std::string& category, std::size_t bytes) {
+  auto it = bytes_.find(category);
+  if (it == bytes_.end()) {
+    order_.push_back(category);
+    it = bytes_.emplace(category, 0).first;
+  }
+  it->second += bytes;
+  current_ += bytes;
+  peak_ = std::max(peak_, current_);
+}
+
+void MemoryTracker::release(const std::string& category, std::size_t bytes) {
+  auto it = bytes_.find(category);
+  if (it == bytes_.end()) return;
+  const std::size_t drop = std::min(it->second, bytes);
+  it->second -= drop;
+  current_ -= drop;
+}
+
+std::size_t MemoryTracker::bytes(const std::string& category) const {
+  auto it = bytes_.find(category);
+  return it == bytes_.end() ? 0 : it->second;
+}
+
+std::size_t MemoryTracker::total_bytes() const { return current_; }
+
+void MemoryTracker::clear() {
+  bytes_.clear();
+  order_.clear();
+  current_ = 0;
+  peak_ = 0;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,17 @@
+#include "util/rng.hpp"
+
+namespace tsunami {
+
+std::vector<double> Rng::normal_vector(std::size_t n) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = normal();
+  return v;
+}
+
+std::vector<double> Rng::uniform_vector(std::size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = uniform(lo, hi);
+  return v;
+}
+
+}  // namespace tsunami

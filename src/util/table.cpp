@@ -1,0 +1,132 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsunami {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+TextTable& TextTable::cell(long value) { return cell(std::to_string(value)); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < r.size() ? r[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << v;
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t rule = 0;
+  for (auto w : width) rule += w + 2;
+  os << std::string(rule, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << r[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << str(); }
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns) {
+  if (column_names.size() != columns.size())
+    throw std::invalid_argument("write_csv: name/column count mismatch");
+  std::size_t nrows = 0;
+  for (const auto& col : columns) nrows = std::max(nrows, col.size());
+
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_csv: cannot open " + path);
+  for (std::size_t c = 0; c < column_names.size(); ++c) {
+    if (c) f << ',';
+    f << column_names[c];
+  }
+  f << '\n';
+  f << std::setprecision(17);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) f << ',';
+      if (r < columns[c].size()) f << columns[c][r];
+    }
+    f << '\n';
+  }
+}
+
+std::string format_duration(double seconds) {
+  std::ostringstream os;
+  os << std::setprecision(3);
+  const double abs = seconds < 0 ? -seconds : seconds;
+  if (abs < 1e-6) {
+    os << seconds * 1e9 << " ns";
+  } else if (abs < 1e-3) {
+    os << seconds * 1e6 << " us";
+  } else if (abs < 1.0) {
+    os << seconds * 1e3 << " ms";
+  } else if (abs < 120.0) {
+    os << seconds << " s";
+  } else if (abs < 7200.0) {
+    os << seconds / 60.0 << " min";
+  } else {
+    os << seconds / 3600.0 << " h";
+  }
+  return os.str();
+}
+
+std::string format_bytes(double bytes) {
+  std::ostringstream os;
+  os << std::setprecision(3);
+  if (bytes < 1024.0) {
+    os << bytes << " B";
+  } else if (bytes < 1024.0 * 1024.0) {
+    os << bytes / 1024.0 << " KiB";
+  } else if (bytes < 1024.0 * 1024.0 * 1024.0) {
+    os << bytes / (1024.0 * 1024.0) << " MiB";
+  } else {
+    os << bytes / (1024.0 * 1024.0 * 1024.0) << " GiB";
+  }
+  return os.str();
+}
+
+}  // namespace tsunami

@@ -1,0 +1,49 @@
+#pragma once
+
+// Plain-text / CSV table writers used by the benchmark harness to print
+// paper-style tables (Table I, II, III) and figure series (Figs. 4-7).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tsunami {
+
+/// Column-aligned text table with a header row, printed like the paper's
+/// tables. Cells are strings; numeric helpers format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Start a new row. Subsequent cell() calls append to it.
+  TextTable& row();
+  TextTable& cell(const std::string& value);
+  TextTable& cell(double value, int precision = 3);
+  TextTable& cell(long value);
+
+  /// Render with column alignment and a rule under the header.
+  [[nodiscard]] std::string str() const;
+
+  /// Render as CSV (no alignment padding).
+  [[nodiscard]] std::string csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Write a set of named columns as a CSV file (figure series artifacts).
+void write_csv(const std::string& path,
+               const std::vector<std::string>& column_names,
+               const std::vector<std::vector<double>>& columns);
+
+/// Format seconds in a human-friendly unit (ns/us/ms/s/min/h), mirroring the
+/// mixed units in the paper's Table III ("52 m", "24 ms", "0.2 s").
+[[nodiscard]] std::string format_duration(double seconds);
+
+/// Format a byte count as B/KiB/MiB/GiB.
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace tsunami

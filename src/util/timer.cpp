@@ -1,0 +1,42 @@
+#include "util/timer.hpp"
+
+namespace tsunami {
+
+void TimerRegistry::add(const std::string& name, double seconds) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    order_.push_back(name);
+    it = entries_.emplace(name, Entry{}).first;
+  }
+  it->second.total += seconds;
+  it->second.count += 1;
+}
+
+double TimerRegistry::total(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.total;
+}
+
+long TimerRegistry::count(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+double TimerRegistry::mean(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.count == 0) return 0.0;
+  return it->second.total / static_cast<double>(it->second.count);
+}
+
+double TimerRegistry::grand_total() const {
+  double sum = 0.0;
+  for (const auto& [_, e] : entries_) sum += e.total;
+  return sum;
+}
+
+void TimerRegistry::clear() {
+  entries_.clear();
+  order_.clear();
+}
+
+}  // namespace tsunami

@@ -1,0 +1,86 @@
+#pragma once
+
+// Wall-clock timers and a hierarchical timer registry.
+//
+// Reproduces the measurement discipline of the paper's Table I / Table III:
+// named phases ("Initialization", "Setup", "Adjoint p2o", "I/O", ...) are
+// accumulated across repeated invocations and reported as a table. The paper
+// measures wall time with POSIX clocks after device sync + MPI_Barrier; the
+// CPU analogue here is steady_clock around OpenMP joins.
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tsunami {
+
+/// Simple monotonic stopwatch (seconds, double precision).
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time and invocation counts under string keys.
+///
+/// Not thread-safe by design: timers delimit parallel regions, they do not
+/// live inside them (matching the paper's barrier-then-measure discipline).
+class TimerRegistry {
+ public:
+  /// Add `seconds` to the accumulator for `name` and bump its count.
+  void add(const std::string& name, double seconds);
+
+  /// Total accumulated seconds for `name` (0 if never recorded).
+  [[nodiscard]] double total(const std::string& name) const;
+
+  /// Number of samples recorded for `name`.
+  [[nodiscard]] long count(const std::string& name) const;
+
+  /// Mean seconds per sample for `name` (0 if never recorded).
+  [[nodiscard]] double mean(const std::string& name) const;
+
+  /// All timer names in insertion order.
+  [[nodiscard]] const std::vector<std::string>& names() const { return order_; }
+
+  /// Sum of all accumulated times.
+  [[nodiscard]] double grand_total() const;
+
+  void clear();
+
+ private:
+  struct Entry {
+    double total = 0.0;
+    long count = 0;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+/// RAII scope timer: records elapsed time into a registry on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+  ~ScopedTimer() { registry_.add(name_, watch_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerRegistry& registry_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace tsunami

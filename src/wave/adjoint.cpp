@@ -1,0 +1,134 @@
+#include "wave/adjoint.hpp"
+
+#include <stdexcept>
+
+namespace tsunami {
+
+std::vector<double> TimeGrid::observation_times() const {
+  std::vector<double> t(num_intervals);
+  for (std::size_t i = 0; i < num_intervals; ++i)
+    t[i] = static_cast<double>(i + 1) * interval();
+  return t;
+}
+
+void forward_p2o_apply(const AcousticGravityModel& model,
+                       const ObservationOperator& obs, const TimeGrid& grid,
+                       std::span<const double> m, std::span<double> d) {
+  const std::size_t nm = model.source_map().parameter_dim();
+  const std::size_t nd = obs.num_outputs();
+  const std::size_t nt = grid.num_intervals;
+  if (m.size() != nm * nt || d.size() != nd * nt)
+    throw std::invalid_argument("forward_p2o_apply: size mismatch");
+
+  Rk4Stepper stepper(model);
+  std::vector<double> y(model.state_dim(), 0.0);
+  std::vector<double> rhs_p(model.pressure_dim());
+  std::vector<double> b(model.state_dim(), 0.0);
+
+  for (std::size_t i = 0; i < nt; ++i) {
+    // b = M^{-1} L m_i (state-space source, velocity part zero).
+    model.source_map().apply(m.subspan(i * nm, nm),
+                             std::span<double>(rhs_p));
+    auto bp = model.pressure_part(std::span<double>(b));
+    model.pressure_mass_inverse(rhs_p, bp);
+    for (std::size_t j = 0; j < grid.substeps; ++j)
+      stepper.step(std::span<double>(y), b, grid.dt);
+    obs.apply(y, d.subspan(i * nd, nd));
+  }
+}
+
+void forward_multi_observe(const AcousticGravityModel& model,
+                           const std::vector<const ObservationOperator*>& obs,
+                           const TimeGrid& grid, std::span<const double> m,
+                           std::vector<Matrix>& series) {
+  const std::size_t nm = model.source_map().parameter_dim();
+  const std::size_t nt = grid.num_intervals;
+  if (m.size() != nm * nt)
+    throw std::invalid_argument("forward_multi_observe: size mismatch");
+  series.clear();
+  for (const auto* o : obs) series.emplace_back(nt, o->num_outputs());
+
+  Rk4Stepper stepper(model);
+  std::vector<double> y(model.state_dim(), 0.0);
+  std::vector<double> rhs_p(model.pressure_dim());
+  std::vector<double> b(model.state_dim(), 0.0);
+
+  for (std::size_t i = 0; i < nt; ++i) {
+    model.source_map().apply(m.subspan(i * nm, nm), std::span<double>(rhs_p));
+    auto bp = model.pressure_part(std::span<double>(b));
+    model.pressure_mass_inverse(rhs_p, bp);
+    for (std::size_t j = 0; j < grid.substeps; ++j)
+      stepper.step(std::span<double>(y), b, grid.dt);
+    for (std::size_t k = 0; k < obs.size(); ++k)
+      obs[k]->apply(y, series[k].row(i));
+  }
+}
+
+void adjoint_p2o_transpose_apply(const AcousticGravityModel& model,
+                                 const ObservationOperator& obs,
+                                 const TimeGrid& grid,
+                                 std::span<const double> d,
+                                 std::span<double> y) {
+  const std::size_t nm = model.source_map().parameter_dim();
+  const std::size_t nd = obs.num_outputs();
+  const std::size_t nt = grid.num_intervals;
+  if (d.size() != nd * nt || y.size() != nm * nt)
+    throw std::invalid_argument("adjoint_p2o_transpose_apply: size mismatch");
+
+  Rk4Stepper stepper(model);
+  std::vector<double> w(model.state_dim(), 0.0);
+  std::vector<double> acc(model.state_dim());
+  std::vector<double> minv_acc(model.pressure_dim());
+
+  // Reverse sweep over intervals: w accumulates C^T d_j, then propagates by
+  // Ptil^T while the D^T accumulation extracts (F^T d)_j = Btil^T w_j.
+  for (std::size_t jj = nt; jj-- > 0;) {
+    obs.apply_transpose_add(d.subspan(jj * nd, nd), std::span<double>(w));
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (std::size_t s = 0; s < grid.substeps; ++s)
+      stepper.adjoint_step(std::span<double>(w), std::span<double>(acc),
+                           grid.dt);
+    const auto acc_p = model.pressure_part(std::span<const double>(acc));
+    model.pressure_mass_inverse(acc_p, std::span<double>(minv_acc));
+    model.source_map().apply_transpose(minv_acc, y.subspan(jj * nm, nm));
+  }
+}
+
+Matrix adjoint_p2o_rows(const AcousticGravityModel& model,
+                        const ObservationOperator& obs,
+                        std::size_t output_index, const TimeGrid& grid,
+                        TimerRegistry* timers) {
+  const std::size_t nm = model.source_map().parameter_dim();
+  const std::size_t nt = grid.num_intervals;
+  Matrix rows(nt, nm);
+
+  Stopwatch setup_watch;
+  Rk4Stepper stepper(model);
+  // Seed: w = C^T e_s.
+  std::vector<double> w(model.state_dim(), 0.0);
+  std::vector<double> seed(obs.num_outputs(), 0.0);
+  seed[output_index] = 1.0;
+  obs.apply_transpose_add(seed, std::span<double>(w));
+
+  std::vector<double> acc(model.state_dim());
+  std::vector<double> minv_acc(model.pressure_dim());
+  if (timers) timers->add("Setup", setup_watch.seconds());
+
+  Stopwatch solve_watch;
+  for (std::size_t k = 0; k < nt; ++k) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    // acc = sum_{j=0..S-1} D^T (P^T)^j w; afterwards w = (P^T)^S w.
+    for (std::size_t j = 0; j < grid.substeps; ++j)
+      stepper.adjoint_step(std::span<double>(w), std::span<double>(acc),
+                           grid.dt);
+    // Row k: Btil^T (...) = L^T M^{-1} acc.
+    const auto acc_p =
+        model.pressure_part(std::span<const double>(acc));
+    model.pressure_mass_inverse(acc_p, std::span<double>(minv_acc));
+    model.source_map().apply_transpose(minv_acc, rows.row(k));
+  }
+  if (timers) timers->add("Adjoint p2o", solve_watch.seconds());
+  return rows;
+}
+
+}  // namespace tsunami

@@ -1,0 +1,78 @@
+#pragma once
+
+// Forward and adjoint propagation of the discrete parameter-to-observable
+// map.
+//
+// With a zero-order hold of the parameter over observation intervals (S RK4
+// substeps per interval), the discrete dynamics are
+//   y_i = Ptil y_{i-1} + Btil m_i,    d_i = C y_i,
+//   Ptil = P^S,   Btil = (sum_{j=0..S-1} P^j D) M^{-1} L,
+// which is exactly the block lower-triangular Toeplitz structure of SecV-A:
+//   d_i = sum_{j <= i} F_{i-j+1} m_j,   F_k = C Ptil^{k-1} Btil.
+//
+// forward_p2o_apply computes F m by time stepping (used for synthetic data
+// and as the test oracle); adjoint_p2o_rows computes row s of every block
+// F_k from ONE adjoint propagation seeded at sensor s — the paper's Phase 1
+// ("one adjoint wave propagation per sensor").
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "util/timer.hpp"
+#include "wave/observation.hpp"
+#include "wave/stepper.hpp"
+
+namespace tsunami {
+
+/// Temporal discretization: Nt observation intervals, S RK4 substeps each.
+struct TimeGrid {
+  std::size_t num_intervals = 0;  ///< Nt
+  std::size_t substeps = 1;       ///< S
+  double dt = 0.0;                ///< RK4 substep size
+
+  [[nodiscard]] double interval() const {
+    return static_cast<double>(substeps) * dt;
+  }
+  [[nodiscard]] double total_time() const {
+    return static_cast<double>(num_intervals) * interval();
+  }
+  /// Observation instants t_i (end of each interval).
+  [[nodiscard]] std::vector<double> observation_times() const;
+};
+
+/// d = F m by forward time stepping. `m` is time-major (Nt blocks of size
+/// Nm); `d` is time-major (Nt blocks of size obs.num_outputs()).
+void forward_p2o_apply(const AcousticGravityModel& model,
+                       const ObservationOperator& obs, const TimeGrid& grid,
+                       std::span<const double> m, std::span<double> d);
+
+/// Forward solve recording several observation streams at once (sensors and
+/// QoI gauges share one propagation). Output matrices are resized to
+/// (Nt x num_outputs).
+void forward_multi_observe(const AcousticGravityModel& model,
+                           const std::vector<const ObservationOperator*>& obs,
+                           const TimeGrid& grid, std::span<const double> m,
+                           std::vector<Matrix>& series);
+
+/// y = F^T d by one adjoint propagation with time-dependent seeding (reverse
+/// sweep): w_j = Ptil^T w_{j+1} + C^T d_j, (F^T d)_j = Btil^T w_j. This is
+/// the "adjoint PDE solve" half of a conventional Hessian matvec — the SoA
+/// baseline's per-CG-iteration cost (SecIV).
+void adjoint_p2o_transpose_apply(const AcousticGravityModel& model,
+                                 const ObservationOperator& obs,
+                                 const TimeGrid& grid,
+                                 std::span<const double> d,
+                                 std::span<double> y);
+
+/// Row s of every Toeplitz block from one adjoint propagation:
+/// returns R with R(k, r) = (F_{k+1})_{s, r},  k = 0..Nt-1, r = 0..Nm-1.
+/// If `timers` is given, records "Setup" / "Adjoint p2o" samples (Table I).
+[[nodiscard]] Matrix adjoint_p2o_rows(const AcousticGravityModel& model,
+                                      const ObservationOperator& obs,
+                                      std::size_t output_index,
+                                      const TimeGrid& grid,
+                                      TimerRegistry* timers = nullptr);
+
+}  // namespace tsunami

@@ -1,0 +1,43 @@
+#pragma once
+
+// Explicit RK4 time stepping for the LTI system  dy/dt = Lambda y + b,
+// plus the EXACT discrete adjoint of the one-step map.
+//
+// For constant b over a step of size h, classic RK4 is the linear map
+//   y' = P y + D b,
+//   P = I + h*L + h^2/2*L^2 + h^3/6*L^3 + h^4/24*L^4,
+//   D = h*(I + h/2*L + h^2/6*L^2 + h^3/24*L^3),        L = Lambda.
+// The adjoint stepper applies P^T and D^T by running the SAME Krylov
+// sequence with Lambda^T, so the discrete p2o map and the rows extracted by
+// the adjoint agree to machine precision — the property the inversion
+// framework's Toeplitz structure rests on (tested in test_adjoint.cpp).
+
+#include <span>
+#include <vector>
+
+#include "wave/acoustic_gravity.hpp"
+
+namespace tsunami {
+
+class Rk4Stepper {
+ public:
+  explicit Rk4Stepper(const AcousticGravityModel& model);
+
+  /// y <- P y + D b, where `b` may be empty (homogeneous step).
+  void step(std::span<double> y, std::span<const double> b, double dt);
+
+  /// Adjoint step: acc += D^T w (if acc nonempty), then w <- P^T w.
+  /// This ordering implements B_tilde^T within a parameter interval (see
+  /// adjoint.cpp).
+  void adjoint_step(std::span<double> w, std::span<double> acc, double dt);
+
+  [[nodiscard]] const AcousticGravityModel& model() const { return model_; }
+
+ private:
+  const AcousticGravityModel& model_;
+  // RK4 stage storage (reused across steps, the paper's "carefully reusing
+  // temporary vectors from RK4" memory optimization).
+  std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+};
+
+}  // namespace tsunami

@@ -1,0 +1,452 @@
+// Tests for quadrature, bases, geometry, boundary operators, and the five
+// partial-assembly kernel variants (which must agree to rounding error).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/basis.hpp"
+#include "fem/boundary_ops.hpp"
+#include "fem/geometry.hpp"
+#include "fem/h1_space.hpp"
+#include "fem/l2_space.hpp"
+#include "fem/pa_kernels.hpp"
+#include "fem/quadrature.hpp"
+#include "linalg/blas.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "util/rng.hpp"
+
+namespace tsunami {
+namespace {
+
+double integrate(const QuadratureRule& rule, auto f) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < rule.size(); ++i)
+    s += rule.weights[i] * f(rule.points[i]);
+  return s;
+}
+
+TEST(GaussLegendre, WeightsSumToTwo) {
+  for (std::size_t n = 1; n <= 8; ++n) {
+    const auto rule = gauss_legendre(n);
+    double s = 0.0;
+    for (double w : rule.weights) s += w;
+    EXPECT_NEAR(s, 2.0, 1e-13) << "n=" << n;
+  }
+}
+
+TEST(GaussLegendre, ExactForDegree2nMinus1) {
+  for (std::size_t n = 1; n <= 6; ++n) {
+    const auto rule = gauss_legendre(n);
+    const std::size_t deg = 2 * n - 1;
+    // int_{-1}^{1} x^deg = 0 (odd), x^{deg-1} = 2/deg.
+    EXPECT_NEAR(integrate(rule, [&](double x) { return std::pow(x, deg); }),
+                0.0, 1e-12);
+    EXPECT_NEAR(
+        integrate(rule, [&](double x) { return std::pow(x, deg - 1); }),
+        2.0 / static_cast<double>(deg), 1e-12);
+  }
+}
+
+TEST(GaussLegendre, PointsAreSortedAndInterior) {
+  const auto rule = gauss_legendre(7);
+  for (std::size_t i = 0; i + 1 < rule.size(); ++i)
+    EXPECT_LT(rule.points[i], rule.points[i + 1]);
+  EXPECT_GT(rule.points.front(), -1.0);
+  EXPECT_LT(rule.points.back(), 1.0);
+}
+
+TEST(GaussLobatto, IncludesEndpointsAndSumsToTwo) {
+  for (std::size_t n = 2; n <= 7; ++n) {
+    const auto rule = gauss_lobatto(n);
+    EXPECT_DOUBLE_EQ(rule.points.front(), -1.0);
+    EXPECT_DOUBLE_EQ(rule.points.back(), 1.0);
+    double s = 0.0;
+    for (double w : rule.weights) s += w;
+    EXPECT_NEAR(s, 2.0, 1e-13);
+  }
+}
+
+TEST(GaussLobatto, ExactForDegree2nMinus3) {
+  for (std::size_t n = 3; n <= 6; ++n) {
+    const auto rule = gauss_lobatto(n);
+    const std::size_t deg = 2 * n - 3;
+    EXPECT_NEAR(
+        integrate(rule, [&](double x) { return std::pow(x, deg - 1); }),
+        (deg - 1) % 2 == 0 ? 2.0 / static_cast<double>(deg) : 0.0, 1e-12);
+  }
+}
+
+TEST(LagrangeBasis, PartitionOfUnityAndInterpolation) {
+  const auto rule = gauss_lobatto(5);
+  for (double x : {-0.73, 0.11, 0.98}) {
+    const auto vals = lagrange_values(rule.points, x);
+    double s = 0.0;
+    for (double v : vals) s += v;
+    EXPECT_NEAR(s, 1.0, 1e-12);
+    const auto ders = lagrange_derivatives(rule.points, x);
+    double ds = 0.0;
+    for (double d : ders) ds += d;
+    EXPECT_NEAR(ds, 0.0, 1e-10);
+  }
+  // Kronecker property at the nodes.
+  for (std::size_t i = 0; i < rule.size(); ++i) {
+    const auto vals = lagrange_values(rule.points, rule.points[i]);
+    for (std::size_t j = 0; j < rule.size(); ++j)
+      EXPECT_NEAR(vals[j], i == j ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(LagrangeBasis, DifferentiatesPolynomialsExactly) {
+  const auto rule = gauss_lobatto(4);  // cubic basis
+  // f(x) = x^3 - 2x: nodal coefficients are point values.
+  std::vector<double> coeffs(rule.size());
+  for (std::size_t i = 0; i < rule.size(); ++i) {
+    const double x = rule.points[i];
+    coeffs[i] = x * x * x - 2.0 * x;
+  }
+  for (double x : {-0.5, 0.0, 0.6}) {
+    const auto ders = lagrange_derivatives(rule.points, x);
+    double df = 0.0;
+    for (std::size_t i = 0; i < rule.size(); ++i) df += ders[i] * coeffs[i];
+    EXPECT_NEAR(df, 3.0 * x * x - 2.0, 1e-11);
+  }
+}
+
+TEST(BasisTables, DimensionsFollowOrder) {
+  const BasisTables t(3);
+  EXPECT_EQ(t.n1, 4u);
+  EXPECT_EQ(t.q, 3u);
+  EXPECT_EQ(t.interp.rows(), 3u);
+  EXPECT_EQ(t.interp.cols(), 4u);
+  EXPECT_THROW(BasisTables(0), std::invalid_argument);
+}
+
+TEST(Geometry, FlatElementJacobianIsDiagonal) {
+  const Bathymetry b(flat_basin(1000.0, 20e3, 20e3));
+  const HexMesh mesh(b, 2, 2, 2);
+  const auto corners = mesh.element_vertices(0);
+  const auto j = trilinear_jacobian(corners, {0.0, 0.0, 0.0});
+  // dx = 10 km, dy = 10 km, dz = 500 m; J = diag(dx/2, dy/2, dz/2).
+  EXPECT_NEAR(j[0], 5000.0, 1e-9);
+  EXPECT_NEAR(j[4], 5000.0, 1e-9);
+  EXPECT_NEAR(j[8], 250.0, 1e-9);
+  EXPECT_NEAR(j[1], 0.0, 1e-9);
+  EXPECT_NEAR(det3(j), 5000.0 * 5000.0 * 250.0, 1e-3);
+}
+
+TEST(Geometry, CofactorIdentity) {
+  // det_times_inverse_transpose(J) * J^T == det(J) * I for a random J.
+  Rng rng(3);
+  std::array<double, 9> j{};
+  for (auto& v : j) v = rng.normal();
+  j[0] += 3.0;
+  j[4] += 3.0;
+  j[8] += 3.0;  // keep it invertible
+  const auto c = det_times_inverse_transpose(j);
+  const double d = det3(j);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t k = 0; k < 3; ++k) {
+      double s = 0.0;
+      for (std::size_t l = 0; l < 3; ++l) s += c[3 * i + l] * j[3 * k + l];
+      EXPECT_NEAR(s, i == k ? d : 0.0, 1e-10);
+    }
+}
+
+TEST(Geometry, PaFactorsPositiveOnCascadiaMesh) {
+  const Bathymetry b;  // undulating bathymetry
+  const HexMesh mesh(b, 6, 8, 3);
+  const BasisTables tables(2);
+  const auto geom = build_pa_geometry(mesh, tables);
+  for (double w : geom.wdetj) EXPECT_GT(w, 0.0);
+  EXPECT_EQ(geom.wdetj.size(), mesh.num_elements() * 8u);
+  EXPECT_EQ(geom.grad_factor.size(), mesh.num_elements() * 8u * 9u);
+}
+
+TEST(Geometry, LumpedMassSumsToVolume) {
+  const double depth = 1200.0, lx = 30e3, ly = 40e3;
+  const Bathymetry b(flat_basin(depth, lx, ly));
+  const HexMesh mesh(b, 3, 4, 2);
+  const BasisTables tables(3);
+  const H1Space space(mesh, tables);
+  const auto mass = h1_lumped_mass(space);
+  double total = 0.0;
+  for (double m : mass) total += m;
+  EXPECT_NEAR(total, depth * lx * ly, 1e-3 * depth * lx * ly * 1e-6);
+}
+
+TEST(Geometry, BottomBoundaryMassSumsToFootprintArea) {
+  const double lx = 30e3, ly = 50e3;
+  const Bathymetry b(flat_basin(2000.0, lx, ly));
+  const HexMesh mesh(b, 4, 5, 2);
+  const BasisTables tables(2);
+  const H1Space space(mesh, tables);
+  const auto diag = boundary_mass_diagonal(space, BoundaryKind::Bottom);
+  double total = 0.0;
+  for (double v : diag) total += v;
+  EXPECT_NEAR(total, lx * ly, 1e-6 * lx * ly);
+}
+
+TEST(Geometry, SlopedSeafloorHasLargerAreaThanFootprint) {
+  // On the Cascadia mesh the seafloor is inclined, so its boundary-mass
+  // total (surface area) must exceed the flat footprint area, while the sea
+  // surface (z = 0 plane) must match the footprint exactly.
+  const Bathymetry b;  // synthetic Cascadia with slope + undulations
+  const HexMesh mesh(b, 8, 10, 2);
+  const BasisTables tables(2);
+  const H1Space space(mesh, tables);
+  const double footprint = b.config().length_x * b.config().length_y;
+  const auto bot = boundary_mass_diagonal(space, BoundaryKind::Bottom);
+  const auto surf = boundary_mass_diagonal(space, BoundaryKind::Surface);
+  double area_bot = 0.0, area_surf = 0.0;
+  for (double v : bot) area_bot += v;
+  for (double v : surf) area_surf += v;
+  EXPECT_GT(area_bot, footprint * 1.0000001);
+  EXPECT_NEAR(area_surf, footprint, 1e-6 * footprint);
+}
+
+TEST(Geometry, SurfaceMassEqualsBottomForFlatBasin) {
+  const Bathymetry b(flat_basin(1000.0, 20e3, 20e3));
+  const HexMesh mesh(b, 3, 3, 2);
+  const BasisTables tables(2);
+  const H1Space space(mesh, tables);
+  const auto bot = boundary_mass_diagonal(space, BoundaryKind::Bottom);
+  const auto surf = boundary_mass_diagonal(space, BoundaryKind::Surface);
+  double sb = 0.0, ss = 0.0;
+  for (double v : bot) sb += v;
+  for (double v : surf) ss += v;
+  EXPECT_NEAR(sb, ss, 1e-6 * sb);
+}
+
+TEST(Geometry, LateralMassSumsToSideWallArea) {
+  const double depth = 1000.0, lx = 20e3, ly = 30e3;
+  const Bathymetry b(flat_basin(depth, lx, ly));
+  const HexMesh mesh(b, 2, 3, 2);
+  const BasisTables tables(2);
+  const H1Space space(mesh, tables);
+  const auto lat = boundary_mass_diagonal(space, BoundaryKind::Lateral);
+  double total = 0.0;
+  for (double v : lat) total += v;
+  EXPECT_NEAR(total, 2.0 * depth * (lx + ly), 1e-6 * total);
+}
+
+TEST(H1Space, StructuredNumberingAndBottomPlane) {
+  const Bathymetry b(flat_basin(1000.0, 10e3, 10e3));
+  const HexMesh mesh(b, 2, 3, 2);
+  const BasisTables tables(2);
+  const H1Space space(mesh, tables);
+  EXPECT_EQ(space.nx1(), 5u);
+  EXPECT_EQ(space.ny1(), 7u);
+  EXPECT_EQ(space.nz1(), 5u);
+  EXPECT_EQ(space.num_dofs(), 5u * 7u * 5u);
+  EXPECT_EQ(space.num_bottom_nodes(), 35u);
+  // Bottom-plane nodes occupy the first nx1*ny1 global indices.
+  EXPECT_EQ(space.node_index(0, 0, 0), 0u);
+  EXPECT_EQ(space.node_index(4, 6, 0), 34u);
+  EXPECT_EQ(space.node_index(0, 0, 1), 35u);
+}
+
+TEST(H1Space, PointEvalPartitionOfUnity) {
+  const Bathymetry b;
+  const HexMesh mesh(b, 4, 4, 2);
+  const BasisTables tables(3);
+  const H1Space space(mesh, tables);
+  for (auto [fx, fy] : {std::pair{0.31, 0.42}, {0.77, 0.15}, {0.5, 0.95}}) {
+    const auto row = space.locate_on_bottom(fx * mesh.length_x(),
+                                            fy * mesh.length_y());
+    double s = 0.0;
+    for (double w : row.weights) s += w;
+    EXPECT_NEAR(s, 1.0, 1e-10);
+  }
+}
+
+TEST(H1Space, PointEvalInterpolatesLinearField) {
+  const Bathymetry b(flat_basin(1500.0, 24e3, 24e3));
+  const HexMesh mesh(b, 3, 3, 2);
+  const BasisTables tables(2);
+  const H1Space space(mesh, tables);
+  // p(x, y, z) = 2 + 0.1x - 0.2y + 0.5z sampled at the nodes.
+  std::vector<double> p(space.num_dofs());
+  for (std::size_t c = 0; c < space.nz1(); ++c)
+    for (std::size_t bb = 0; bb < space.ny1(); ++bb)
+      for (std::size_t a = 0; a < space.nx1(); ++a) {
+        const auto xyz = space.node_coords(a, bb, c);
+        p[space.node_index(a, bb, c)] =
+            2.0 + 0.1 * xyz[0] - 0.2 * xyz[1] + 0.5 * xyz[2];
+      }
+  const double x = 7.3e3, y = 11.1e3, z = -888.0;
+  const auto row = space.locate(x, y, z);
+  double val = 0.0;
+  for (std::size_t k = 0; k < row.dofs.size(); ++k)
+    val += row.weights[k] * p[row.dofs[k]];
+  EXPECT_NEAR(val, 2.0 + 0.1 * x - 0.2 * y + 0.5 * z, 1e-8);
+}
+
+TEST(BottomSourceMap, WeightsMatchBoundaryMass) {
+  const Bathymetry b(flat_basin(1000.0, 12e3, 12e3));
+  const HexMesh mesh(b, 3, 3, 2);
+  const BasisTables tables(2);
+  const H1Space space(mesh, tables);
+  const BottomSourceMap src(space);
+  EXPECT_EQ(src.parameter_dim(), space.num_bottom_nodes());
+  double total = 0.0;
+  for (double w : src.weights()) total += w;
+  EXPECT_NEAR(total, 12e3 * 12e3, 1.0);
+}
+
+TEST(BottomSourceMap, ApplyAndTransposeAreAdjoint) {
+  const Bathymetry b;
+  const HexMesh mesh(b, 3, 4, 2);
+  const BasisTables tables(2);
+  const H1Space space(mesh, tables);
+  const BottomSourceMap src(space);
+  Rng rng(4);
+  const auto m = rng.normal_vector(src.parameter_dim());
+  const auto y = rng.normal_vector(src.pressure_dim());
+  std::vector<double> lm(src.pressure_dim()), lty(src.parameter_dim());
+  src.apply(m, std::span<double>(lm));
+  src.apply_transpose(y, std::span<double>(lty));
+  const double lhs = dot(lm, y);
+  EXPECT_NEAR(lhs, dot(m, lty), 1e-12 * std::abs(lhs));
+}
+
+// ---------------------------------------------------------------------------
+// Kernel variants: agreement, adjointness, and exact gradients.
+
+struct KernelCase {
+  KernelVariant variant;
+  std::size_t order;
+};
+
+class KernelTest : public ::testing::TestWithParam<KernelCase> {
+ protected:
+  void SetUp() override {
+    bathy_ = std::make_unique<Bathymetry>(BathymetryConfig{});
+    mesh_ = std::make_unique<HexMesh>(*bathy_, 3, 4, 2);
+    tables_ = std::make_unique<BasisTables>(GetParam().order);
+    h1_ = std::make_unique<H1Space>(*mesh_, *tables_);
+    l2_ = std::make_unique<L2Space>(*mesh_, *tables_);
+    geom_ = build_pa_geometry(*mesh_, *tables_);
+    op_ = std::make_unique<MixedOperator>(*h1_, *l2_, geom_, *tables_,
+                                          GetParam().variant);
+  }
+
+  std::unique_ptr<Bathymetry> bathy_;
+  std::unique_ptr<HexMesh> mesh_;
+  std::unique_ptr<BasisTables> tables_;
+  std::unique_ptr<H1Space> h1_;
+  std::unique_ptr<L2Space> l2_;
+  PaGeometry geom_;
+  std::unique_ptr<MixedOperator> op_;
+};
+
+TEST_P(KernelTest, GradAndDivAreAdjoint) {
+  Rng rng(17);
+  const auto p = rng.normal_vector(h1_->num_dofs());
+  const auto u = rng.normal_vector(l2_->num_dofs());
+  std::vector<double> bp(l2_->num_dofs()), btu(h1_->num_dofs());
+  op_->apply_blocks(p, u, std::span<double>(bp), std::span<double>(btu), 1.0,
+                    1.0);
+  // <B p, u> == <p, B^T u>.
+  const double lhs = dot(bp, u);
+  const double rhs = dot(p, btu);
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::abs(lhs) + 1e-9);
+}
+
+TEST_P(KernelTest, MatchesReferenceVariant) {
+  // InitialPA (independent naive code path) is the oracle.
+  MixedOperator reference(*h1_, *l2_, geom_, *tables_,
+                          KernelVariant::InitialPA);
+  Rng rng(18);
+  const auto p = rng.normal_vector(h1_->num_dofs());
+  const auto u = rng.normal_vector(l2_->num_dofs());
+  std::vector<double> u1(l2_->num_dofs()), p1(h1_->num_dofs());
+  std::vector<double> u2(l2_->num_dofs()), p2(h1_->num_dofs());
+  op_->apply_blocks(p, u, std::span<double>(u1), std::span<double>(p1), 1.0,
+                    -1.0);
+  reference.apply_blocks(p, u, std::span<double>(u2), std::span<double>(p2),
+                         1.0, -1.0);
+  double scale = amax(u2) + amax(p2);
+  for (std::size_t i = 0; i < u1.size(); ++i)
+    EXPECT_NEAR(u1[i], u2[i], 1e-11 * scale) << "velocity dof " << i;
+  for (std::size_t i = 0; i < p1.size(); ++i)
+    EXPECT_NEAR(p1[i], p2[i], 1e-11 * scale) << "pressure dof " << i;
+}
+
+TEST_P(KernelTest, GradientExactForLinearPressure) {
+  // For p = a + gx x + gy y + gz z, integral identity:
+  // <B p, u_const> = g . u_const * Volume.
+  std::vector<double> p(h1_->num_dofs());
+  const double gx = 1.3e-4, gy = -2.1e-4, gz = 3.7e-4;
+  for (std::size_t c = 0; c < h1_->nz1(); ++c)
+    for (std::size_t bb = 0; bb < h1_->ny1(); ++bb)
+      for (std::size_t a = 0; a < h1_->nx1(); ++a) {
+        const auto xyz = h1_->node_coords(a, bb, c);
+        p[h1_->node_index(a, bb, c)] =
+            5.0 + gx * xyz[0] + gy * xyz[1] + gz * xyz[2];
+      }
+  std::vector<double> u_const(l2_->num_dofs());
+  for (std::size_t e = 0; e < l2_->num_elements(); ++e)
+    for (std::size_t d = 0; d < 3; ++d)
+      for (std::size_t n = 0; n < l2_->nodes_per_element(); ++n)
+        u_const[l2_->dof(e, d, n)] = d == 0 ? 1.0 : (d == 1 ? 2.0 : -1.0);
+
+  std::vector<double> bp(l2_->num_dofs()), dummy(h1_->num_dofs());
+  op_->apply_blocks(p, u_const, std::span<double>(bp),
+                    std::span<double>(dummy), 1.0, 1.0);
+
+  // Volume of the Cascadia mesh: sum of wdetj.
+  double volume = 0.0;
+  for (double w : geom_.wdetj) volume += w;
+  const double expected = (gx * 1.0 + gy * 2.0 + gz * -1.0) * volume;
+  EXPECT_NEAR(dot(bp, u_const), expected, 1e-9 * std::abs(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndOrders, KernelTest,
+    ::testing::Values(KernelCase{KernelVariant::InitialPA, 2},
+                      KernelCase{KernelVariant::SharedPA, 1},
+                      KernelCase{KernelVariant::SharedPA, 2},
+                      KernelCase{KernelVariant::SharedPA, 3},
+                      KernelCase{KernelVariant::OptimizedPA, 1},
+                      KernelCase{KernelVariant::OptimizedPA, 2},
+                      KernelCase{KernelVariant::OptimizedPA, 3},
+                      KernelCase{KernelVariant::OptimizedPA, 4},
+                      KernelCase{KernelVariant::FusedPA, 2},
+                      KernelCase{KernelVariant::FusedPA, 3},
+                      KernelCase{KernelVariant::FusedMF, 2},
+                      KernelCase{KernelVariant::FusedMF, 3}),
+    [](const auto& info) {
+      return to_string(info.param.variant).substr(0, 1) +
+             std::to_string(info.param.order) +
+             (info.param.variant == KernelVariant::FusedMF ? "MF" :
+              info.param.variant == KernelVariant::FusedPA ? "FP" :
+              info.param.variant == KernelVariant::OptimizedPA ? "OP" :
+              info.param.variant == KernelVariant::SharedPA ? "SP" : "IP");
+    });
+
+TEST(KernelCosts, InitialPaCostsMoreFlops) {
+  const auto naive = estimate_kernel_costs(KernelVariant::InitialPA, 4, 100);
+  const auto sf = estimate_kernel_costs(KernelVariant::SharedPA, 4, 100);
+  EXPECT_GT(naive.flops, 5.0 * sf.flops);
+}
+
+TEST(KernelCosts, MfTradesBytesForFlops) {
+  const auto pa = estimate_kernel_costs(KernelVariant::FusedPA, 4, 100);
+  const auto mf = estimate_kernel_costs(KernelVariant::FusedMF, 4, 100);
+  EXPECT_GT(mf.flops, pa.flops);
+  EXPECT_LT(mf.bytes, pa.bytes);
+}
+
+TEST(MixedOperator, RejectsTooHighOrder) {
+  const Bathymetry b;
+  const HexMesh mesh(b, 2, 2, 1);
+  const BasisTables tables(8);  // n1 = 9 > kMaxN1
+  const H1Space h1(mesh, tables);
+  const L2Space l2(mesh, tables);
+  const auto geom = build_pa_geometry(mesh, tables);
+  EXPECT_THROW(MixedOperator(h1, l2, geom, tables), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsunami

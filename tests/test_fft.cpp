@@ -1,0 +1,205 @@
+// Tests for the FFT library: correctness against the naive DFT across sizes
+// (powers of two and Bluestein for composite/prime lengths), roundtrips,
+// batching, and FFT-based convolution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fft/fft.hpp"
+#include "util/rng.hpp"
+
+namespace tsunami {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, unsigned seed) {
+  Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.normal(), rng.normal());
+  return x;
+}
+
+double max_err(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, ForwardMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, static_cast<unsigned>(n));
+  const auto expected = dft_reference(x);
+  FftPlan plan(n);
+  plan.forward(std::span<Complex>(x));
+  EXPECT_LT(max_err(x, expected), 1e-9 * static_cast<double>(n))
+      << "size " << n;
+}
+
+TEST_P(FftSizeTest, InverseMatchesNaiveInverseDft) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, static_cast<unsigned>(n) + 1);
+  const auto expected = dft_reference(x, /*inverse=*/true);
+  FftPlan plan(n);
+  plan.inverse(std::span<Complex>(x));
+  EXPECT_LT(max_err(x, expected), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftSizeTest, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const auto orig = random_signal(n, static_cast<unsigned>(n) + 2);
+  auto x = orig;
+  FftPlan plan(n);
+  plan.forward(std::span<Complex>(x));
+  plan.inverse(std::span<Complex>(x));
+  EXPECT_LT(max_err(x, orig), 1e-10 * static_cast<double>(n));
+}
+
+// Powers of two exercise radix-2; 3, 5, 6, 12, 100 exercise Bluestein;
+// 17, 31, 97 are primes (worst case for non-chirp algorithms).
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 12, 16, 17,
+                                           31, 32, 64, 97, 100, 128, 256));
+
+TEST(Fft, LinearityProperty) {
+  const std::size_t n = 64;
+  const auto x = random_signal(n, 7);
+  const auto y = random_signal(n, 8);
+  const Complex alpha(1.3, -0.4);
+  FftPlan plan(n);
+
+  auto fx = x, fy = y;
+  plan.forward(std::span<Complex>(fx));
+  plan.forward(std::span<Complex>(fy));
+  std::vector<Complex> combo(n);
+  for (std::size_t i = 0; i < n; ++i) combo[i] = alpha * x[i] + y[i];
+  plan.forward(std::span<Complex>(combo));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(combo[i] - (alpha * fx[i] + fy[i])), 1e-10);
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  const std::size_t n = 128;
+  auto x = random_signal(n, 9);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  FftPlan plan(n);
+  plan.forward(std::span<Complex>(x));
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-9 * time_energy);
+}
+
+TEST(Fft, ImpulseTransformsToConstant) {
+  const std::size_t n = 32;
+  std::vector<Complex> x(n, Complex(0.0, 0.0));
+  x[0] = Complex(1.0, 0.0);
+  fft(x);
+  for (const auto& v : x) EXPECT_LT(std::abs(v - Complex(1.0, 0.0)), 1e-12);
+}
+
+TEST(Fft, ConstantTransformsToImpulse) {
+  const std::size_t n = 32;
+  std::vector<Complex> x(n, Complex(1.0, 0.0));
+  fft(x);
+  EXPECT_NEAR(x[0].real(), static_cast<double>(n), 1e-10);
+  for (std::size_t i = 1; i < n; ++i) EXPECT_LT(std::abs(x[i]), 1e-10);
+}
+
+TEST(Fft, RealInputHasConjugateSymmetry) {
+  const std::size_t n = 48;  // Bluestein path
+  Rng rng(10);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.normal(), 0.0);
+  fft(x);
+  for (std::size_t k = 1; k < n / 2; ++k)
+    EXPECT_LT(std::abs(x[k] - std::conj(x[n - k])), 1e-10);
+}
+
+TEST(Fft, TimeShiftBecomesPhaseRamp) {
+  const std::size_t n = 64;
+  const auto x = random_signal(n, 11);
+  std::vector<Complex> shifted(n);
+  for (std::size_t i = 0; i < n; ++i) shifted[(i + 1) % n] = x[i];
+  auto fx = x, fs = shifted;
+  FftPlan plan(n);
+  plan.forward(std::span<Complex>(fx));
+  plan.forward(std::span<Complex>(fs));
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = -2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n);
+    const Complex phase(std::cos(ang), std::sin(ang));
+    EXPECT_LT(std::abs(fs[k] - fx[k] * phase), 1e-9);
+  }
+}
+
+TEST(FftBatch, MatchesIndividualTransforms) {
+  const std::size_t n = 64, batch = 5;
+  FftPlan plan(n);
+  std::vector<Complex> data;
+  std::vector<std::vector<Complex>> singles;
+  for (std::size_t b = 0; b < batch; ++b) {
+    auto s = random_signal(n, 100 + static_cast<unsigned>(b));
+    singles.push_back(s);
+    data.insert(data.end(), s.begin(), s.end());
+  }
+  plan.forward_batch(std::span<Complex>(data), batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    plan.forward(std::span<Complex>(singles[b]));
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_LT(std::abs(data[b * n + i] - singles[b][i]), 1e-12);
+  }
+}
+
+TEST(FftBatch, InverseBatchRoundTrip) {
+  const std::size_t n = 32, batch = 3;
+  FftPlan plan(n);
+  auto orig = random_signal(n * batch, 55);
+  auto data = orig;
+  plan.forward_batch(std::span<Complex>(data), batch);
+  plan.inverse_batch(std::span<Complex>(data), batch);
+  EXPECT_LT(max_err(data, orig), 1e-10);
+}
+
+TEST(FftConvolve, MatchesDirectConvolution) {
+  Rng rng(12);
+  const auto a = rng.normal_vector(17);
+  const auto b = rng.normal_vector(9);
+  const auto fast = fft_convolve(a, b);
+  ASSERT_EQ(fast.size(), a.size() + b.size() - 1);
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    double direct = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const std::size_t j = k - i;
+      if (k >= i && j < b.size()) direct += a[i] * b[j];
+    }
+    EXPECT_NEAR(fast[k], direct, 1e-10);
+  }
+}
+
+TEST(FftConvolve, DeltaIsIdentity) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> delta{1.0};
+  const auto y = fft_convolve(x, delta);
+  ASSERT_EQ(y.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
+}
+
+TEST(Fft, PlanRejectsSizeMismatch) {
+  FftPlan plan(16);
+  std::vector<Complex> wrong(8);
+  EXPECT_THROW(plan.forward(std::span<Complex>(wrong)), std::invalid_argument);
+  EXPECT_THROW(FftPlan(0), std::invalid_argument);
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+}  // namespace
+}  // namespace tsunami

@@ -1,0 +1,107 @@
+// Tests for the binary artifact serialization (deployment shipping format).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace tsunami {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Io, MatrixRoundTrip) {
+  Rng rng(1);
+  Matrix m(7, 13);
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) m(i, j) = rng.normal();
+  const auto path = temp_path("tsunami_io_matrix.bin");
+  save_matrix(path, m);
+  const Matrix back = load_matrix(path);
+  ASSERT_EQ(back.rows(), 7u);
+  ASSERT_EQ(back.cols(), 13u);
+  EXPECT_DOUBLE_EQ(back.max_abs_diff(m), 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, EmptyMatrixRoundTrip) {
+  const auto path = temp_path("tsunami_io_empty.bin");
+  save_matrix(path, Matrix(0, 0));
+  const Matrix back = load_matrix(path);
+  EXPECT_EQ(back.rows(), 0u);
+  EXPECT_EQ(back.cols(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, VectorRoundTrip) {
+  Rng rng(2);
+  const auto v = rng.normal_vector(100);
+  const auto path = temp_path("tsunami_io_vector.bin");
+  save_vector(path, v);
+  const auto back = load_vector(path);
+  ASSERT_EQ(back.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(back[i], v[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, P2oArchiveRoundTrip) {
+  Rng rng(3);
+  P2oArchive a;
+  a.nrows = 3;
+  a.ncols = 5;
+  a.nt = 4;
+  a.blocks = rng.normal_vector(60);
+  const auto path = temp_path("tsunami_io_p2o.bin");
+  save_p2o(path, a);
+  const auto back = load_p2o(path);
+  EXPECT_EQ(back.nrows, 3u);
+  EXPECT_EQ(back.ncols, 5u);
+  EXPECT_EQ(back.nt, 4u);
+  ASSERT_EQ(back.blocks.size(), 60u);
+  for (std::size_t i = 0; i < 60; ++i)
+    EXPECT_DOUBLE_EQ(back.blocks[i], a.blocks[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, P2oRejectsInconsistentDims) {
+  P2oArchive a;
+  a.nrows = 2;
+  a.ncols = 2;
+  a.nt = 2;
+  a.blocks.assign(5, 0.0);  // should be 8
+  EXPECT_THROW(save_p2o(temp_path("tsunami_io_bad.bin"), a),
+               std::invalid_argument);
+}
+
+TEST(Io, WrongSignatureRejected) {
+  Rng rng(4);
+  const auto v = rng.normal_vector(10);
+  const auto path = temp_path("tsunami_io_sig.bin");
+  save_vector(path, v);
+  EXPECT_THROW((void)load_matrix(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW((void)load_vector("/nonexistent/dir/file.bin"),
+               std::runtime_error);
+}
+
+TEST(Io, TruncatedFileThrows) {
+  Rng rng(5);
+  Matrix m(20, 20);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.normal();
+  const auto path = temp_path("tsunami_io_trunc.bin");
+  save_matrix(path, m);
+  std::filesystem::resize_file(path, 128);  // chop off most of the payload
+  EXPECT_THROW((void)load_matrix(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tsunami

@@ -1,0 +1,126 @@
+// Tests for the bathymetry model and the terrain-following hexahedral mesh.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/bathymetry.hpp"
+#include "mesh/hex_mesh.hpp"
+
+namespace tsunami {
+namespace {
+
+TEST(Bathymetry, FlatBasinIsConstantDepth) {
+  const Bathymetry b(flat_basin(2500.0, 100e3, 200e3));
+  EXPECT_DOUBLE_EQ(b.depth(0.0, 0.0), 2500.0);
+  EXPECT_DOUBLE_EQ(b.depth(50e3, 100e3), 2500.0);
+  EXPECT_DOUBLE_EQ(b.depth(100e3, 200e3), 2500.0);
+}
+
+TEST(Bathymetry, CascadiaProfileDeepensTowardTrench) {
+  const Bathymetry b;  // default synthetic Cascadia
+  const double ly = b.config().length_y;
+  const double deep = b.depth(0.0, 0.5 * ly);
+  const double shallow = b.depth(b.config().length_x, 0.5 * ly);
+  EXPECT_GT(deep, 2000.0);
+  EXPECT_LT(shallow, 500.0);
+  EXPECT_GT(deep, shallow);
+}
+
+TEST(Bathymetry, DepthIsAlwaysAboveFloor) {
+  const Bathymetry b;
+  for (double fx : {0.0, 0.3, 0.6, 0.9, 1.0})
+    for (double fy : {0.0, 0.25, 0.5, 0.75, 1.0})
+      EXPECT_GE(b.depth(fx * b.config().length_x, fy * b.config().length_y),
+                b.config().min_depth);
+}
+
+TEST(Bathymetry, AlongStrikeUndulationPresent) {
+  const Bathymetry b;
+  const double x = 0.2 * b.config().length_x;
+  double lo = 1e9, hi = -1e9;
+  for (int i = 0; i <= 50; ++i) {
+    const double d =
+        b.depth(x, b.config().length_y * static_cast<double>(i) / 50.0);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_GT(hi - lo, 50.0);  // undulation visible at this transect
+}
+
+TEST(HexMesh, CountsAndIndexing) {
+  const Bathymetry b(flat_basin(1000.0, 40e3, 60e3));
+  const HexMesh mesh(b, 4, 6, 3);
+  EXPECT_EQ(mesh.num_elements(), 72u);
+  EXPECT_EQ(mesh.num_vertices(), 5u * 7u * 4u);
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto c = mesh.element_coords(e);
+    EXPECT_EQ(mesh.element_index(c[0], c[1], c[2]), e);
+  }
+}
+
+TEST(HexMesh, SurfaceVerticesAtZeroElevation) {
+  const Bathymetry b;  // Cascadia-like
+  const HexMesh mesh(b, 6, 8, 3);
+  for (std::size_t j = 0; j <= mesh.ny(); ++j)
+    for (std::size_t i = 0; i <= mesh.nx(); ++i)
+      EXPECT_DOUBLE_EQ(mesh.vertex(i, j, mesh.nz())[2], 0.0);
+}
+
+TEST(HexMesh, BottomVerticesFollowBathymetry) {
+  const Bathymetry b;
+  const HexMesh mesh(b, 6, 8, 3);
+  for (std::size_t j = 0; j <= mesh.ny(); ++j)
+    for (std::size_t i = 0; i <= mesh.nx(); ++i) {
+      const auto v = mesh.vertex(i, j, 0);
+      EXPECT_NEAR(v[2], -b.depth(v[0], v[1]), 1e-9);
+    }
+}
+
+TEST(HexMesh, ColumnsAreVerticallyGraded) {
+  const Bathymetry b(flat_basin(3000.0, 30e3, 30e3));
+  const HexMesh mesh(b, 3, 3, 4);
+  // Flat basin: layer interfaces at uniform fractions of the depth.
+  for (std::size_t k = 0; k <= 4; ++k) {
+    const auto v = mesh.vertex(1, 1, k);
+    EXPECT_NEAR(v[2], -3000.0 * (1.0 - static_cast<double>(k) / 4.0), 1e-9);
+  }
+}
+
+TEST(HexMesh, ElementVerticesAreCornerOrdered) {
+  const Bathymetry b(flat_basin(1000.0, 10e3, 10e3));
+  const HexMesh mesh(b, 2, 2, 2);
+  const auto v = mesh.element_vertices(0);
+  // Corner 0 = (0,0,0) must be below corner 4 = (0,0,1).
+  EXPECT_LT(v[0][2], v[4][2]);
+  // Corner 1 = (1,0,0) differs from corner 0 only in x.
+  EXPECT_GT(v[1][0], v[0][0]);
+  EXPECT_DOUBLE_EQ(v[1][1], v[0][1]);
+}
+
+TEST(HexMesh, MinEdgeLengthFlatBasin) {
+  const Bathymetry b(flat_basin(1000.0, 40e3, 40e3));
+  const HexMesh mesh(b, 4, 4, 4);  // dz = 250 m << dx = dy = 10 km
+  EXPECT_NEAR(mesh.min_edge_length(), 250.0, 1e-6);
+}
+
+TEST(HexMesh, DepthScalesVerticalResolution) {
+  // Shallow columns must produce shorter vertical edges (the paper notes
+  // finer spacing "in shallow areas of the CSZ").
+  const Bathymetry b;  // Cascadia profile
+  const HexMesh mesh(b, 10, 10, 3);
+  const auto deep_col = mesh.vertex(0, 5, 1)[2] - mesh.vertex(0, 5, 0)[2];
+  const auto shallow_col =
+      mesh.vertex(10, 5, 1)[2] - mesh.vertex(10, 5, 0)[2];
+  EXPECT_GT(deep_col, shallow_col);
+}
+
+TEST(HexMesh, RejectsDegenerateDimensions) {
+  const Bathymetry b;
+  EXPECT_THROW(HexMesh(b, 0, 4, 4), std::invalid_argument);
+  EXPECT_THROW(HexMesh(b, 4, 0, 4), std::invalid_argument);
+  EXPECT_THROW(HexMesh(b, 4, 4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsunami

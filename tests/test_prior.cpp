@@ -1,0 +1,234 @@
+// Tests for the Matern-type bilaplacian prior: SPD-ness, square-root
+// consistency, inverse consistency, correlation decay, sampling statistics,
+// and the block-diagonal-in-time application.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "prior/matern_prior.hpp"
+#include "util/rng.hpp"
+
+namespace tsunami {
+namespace {
+
+MaternPrior make_prior(std::size_t nx = 12, std::size_t ny = 10) {
+  MaternPriorConfig cfg;
+  cfg.sigma = 0.5;
+  cfg.correlation_length = 8.0e3;
+  return MaternPrior(nx, ny, 2.0e3, 2.5e3, cfg);
+}
+
+TEST(MaternPrior, CovarianceIsSymmetric) {
+  const auto prior = make_prior();
+  Rng rng(1);
+  const auto x = rng.normal_vector(prior.dim());
+  const auto y = rng.normal_vector(prior.dim());
+  std::vector<double> cx(prior.dim()), cy(prior.dim());
+  prior.apply(x, std::span<double>(cx));
+  prior.apply(y, std::span<double>(cy));
+  EXPECT_NEAR(dot(cx, y), dot(x, cy), 1e-10 * std::abs(dot(cx, y)) + 1e-12);
+}
+
+TEST(MaternPrior, CovarianceIsPositiveDefinite) {
+  const auto prior = make_prior();
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto x = rng.normal_vector(prior.dim());
+    std::vector<double> cx(prior.dim());
+    prior.apply(x, std::span<double>(cx));
+    EXPECT_GT(dot(x, cx), 0.0);
+  }
+}
+
+TEST(MaternPrior, InverseIsConsistent) {
+  const auto prior = make_prior();
+  Rng rng(3);
+  const auto x = rng.normal_vector(prior.dim());
+  std::vector<double> cx(prior.dim()), cicx(prior.dim());
+  prior.apply(x, std::span<double>(cx));
+  prior.apply_inverse(cx, std::span<double>(cicx));
+  for (std::size_t i = 0; i < prior.dim(); ++i)
+    EXPECT_NEAR(cicx[i], x[i], 1e-7 * (std::abs(x[i]) + 1.0));
+}
+
+TEST(MaternPrior, SqrtFactorsCovariance) {
+  // C = S S^T with S = A^{-1} M^{1/2}: check <C x, y> == <S^T... via
+  // applying S to random white noise twice: Var matching is done elsewhere;
+  // here check C x == S (S^T x) using S^T = M^{1/2} A^{-1} (A symmetric).
+  const auto prior = make_prior(8, 7);
+  Rng rng(4);
+  const auto x = rng.normal_vector(prior.dim());
+  std::vector<double> cx(prior.dim());
+  prior.apply(x, std::span<double>(cx));
+  // S^T x: A^{-1} then M^{1/2}: reuse apply_sqrt on a mass-prescaled input is
+  // not directly exposed; instead verify the quadratic identity
+  // <C x, x> == || S^T x ||^2 by computing S^T x through apply_sqrt's
+  // adjoint relation: <C x, x> = <S S^T x, x> = ||S^T x||^2 > 0 and
+  // <C x, x> = <S^T x, S^T x>. We approximate S^T x via solving with the
+  // sqrt applied to a basis... simpler: Monte-Carlo identity
+  // E[(w^T S^T x)^2] = ||S^T x||^2 = <C x, x> using samples S w.
+  const double quad = dot(cx, x);
+  Rng rng2(5);
+  double mc = 0.0;
+  const int nsamp = 4000;
+  for (int k = 0; k < nsamp; ++k) {
+    const auto w = rng2.normal_vector(prior.dim());
+    std::vector<double> sw(prior.dim());
+    prior.apply_sqrt(w, std::span<double>(sw));
+    const double proj = dot(sw, x);
+    mc += proj * proj;
+  }
+  mc /= nsamp;
+  EXPECT_NEAR(mc, quad, 0.15 * quad);  // Monte-Carlo tolerance
+}
+
+TEST(MaternPrior, PointwiseVarianceNearTargetSigma) {
+  // Interior variance should approach sigma^2 (boundary effects inflate it).
+  MaternPriorConfig cfg;
+  cfg.sigma = 0.4;
+  cfg.correlation_length = 6e3;
+  const MaternPrior prior(21, 21, 1.5e3, 1.5e3, cfg);
+  const std::size_t center = 10 + 21 * 10;
+  const double var = prior.pointwise_variance(center);
+  EXPECT_GT(var, 0.25 * cfg.sigma * cfg.sigma);
+  EXPECT_LT(var, 4.0 * cfg.sigma * cfg.sigma);
+}
+
+TEST(MaternPrior, CorrelationDecaysWithDistance) {
+  const MaternPrior prior = make_prior(20, 20);
+  // Column of C through a unit vector at the center.
+  std::vector<double> e(prior.dim(), 0.0);
+  const std::size_t cx = 10, cy = 10;
+  e[cx + 12 * 0] = 0.0;  // silence unused warning path
+  const std::size_t center = cx + 20 * cy;
+  std::vector<double> unit(prior.dim(), 0.0), col(prior.dim());
+  unit[center] = 1.0;
+  prior.apply(unit, std::span<double>(col));
+  const double at_center = col[center];
+  const double near = col[(cx + 1) + 20 * cy];
+  const double far = col[(cx + 8) + 20 * cy];
+  EXPECT_GT(at_center, near);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);  // Matern covariance stays positive along the axis
+}
+
+TEST(MaternPrior, SampleVarianceMatchesPointwiseVariance) {
+  const MaternPrior prior = make_prior(10, 9);
+  Rng rng(6);
+  const std::size_t probe = 4 + 10 * 4;
+  const double expected = prior.pointwise_variance(probe);
+  double acc = 0.0;
+  const int nsamp = 3000;
+  for (int k = 0; k < nsamp; ++k) {
+    const auto s = prior.sample(rng);
+    acc += s[probe] * s[probe];
+  }
+  acc /= nsamp;
+  EXPECT_NEAR(acc, expected, 0.12 * expected);
+}
+
+TEST(MaternPrior, SampleMeanIsZero) {
+  const MaternPrior prior = make_prior(8, 8);
+  Rng rng(7);
+  std::vector<double> mean(prior.dim(), 0.0);
+  const int nsamp = 2000;
+  for (int k = 0; k < nsamp; ++k) {
+    const auto s = prior.sample(rng);
+    axpy(1.0, s, std::span<double>(mean));
+  }
+  scal(1.0 / nsamp, std::span<double>(mean));
+  const double typical = std::sqrt(prior.pointwise_variance(prior.dim() / 2));
+  for (double m : mean) EXPECT_LT(std::abs(m), 0.15 * typical);
+}
+
+TEST(MaternPrior, TimeBlocksApplyIndependently) {
+  const MaternPrior prior = make_prior(6, 5);
+  Rng rng(8);
+  const std::size_t nt = 4, n = prior.dim();
+  const auto x = rng.normal_vector(n * nt);
+  std::vector<double> y(n * nt);
+  prior.apply_time_blocks(x, std::span<double>(y), nt);
+  for (std::size_t t = 0; t < nt; ++t) {
+    std::vector<double> block(n);
+    prior.apply(std::span<const double>(x).subspan(t * n, n),
+                std::span<double>(block));
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_DOUBLE_EQ(y[t * n + i], block[i]);
+  }
+}
+
+TEST(MaternPrior, LongerCorrelationSmoothsSamples) {
+  MaternPriorConfig rough;
+  rough.sigma = 1.0;
+  rough.correlation_length = 2e3;
+  MaternPriorConfig smooth;
+  smooth.sigma = 1.0;
+  smooth.correlation_length = 20e3;
+  const MaternPrior p_rough(16, 16, 1e3, 1e3, rough);
+  const MaternPrior p_smooth(16, 16, 1e3, 1e3, smooth);
+
+  auto roughness = [](const std::vector<double>& s, std::size_t nx) {
+    double acc = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+      if ((i + 1) % nx == 0) continue;
+      const double d = s[i + 1] - s[i];
+      acc += d * d;
+      norm += s[i] * s[i];
+    }
+    return acc / (norm + 1e-30);
+  };
+  Rng rng1(9), rng2(9);
+  double r_rough = 0.0, r_smooth = 0.0;
+  for (int k = 0; k < 20; ++k) {
+    r_rough += roughness(p_rough.sample(rng1), 16);
+    r_smooth += roughness(p_smooth.sample(rng2), 16);
+  }
+  EXPECT_GT(r_rough, 2.0 * r_smooth);
+}
+
+TEST(MaternPrior, CorrelationLengthIsCalibrated) {
+  // For Matern nu = 1, the correlation at lag r = rho is
+  // (kappa rho) K_1(kappa rho) with kappa rho = sqrt(8): ~0.139. Check the
+  // normalized covariance at that distance sits near the analytic value
+  // (grid/boundary effects allow a generous band).
+  MaternPriorConfig cfg;
+  cfg.sigma = 1.0;
+  cfg.correlation_length = 8.0e3;
+  const double h = 1.0e3;
+  const MaternPrior prior(33, 33, h, h, cfg);
+  const std::size_t cx = 16, cy = 16;
+  const std::size_t center = cx + 33 * cy;
+
+  std::vector<double> unit(prior.dim(), 0.0), col(prior.dim());
+  unit[center] = 1.0;
+  prior.apply(unit, std::span<double>(col));
+  // Normalized correlation at lag = rho (8 nodes away along x).
+  const double corr = col[(cx + 8) + 33 * cy] / col[center];
+  EXPECT_GT(corr, 0.05);
+  EXPECT_LT(corr, 0.35);
+  // Beyond 3 rho the correlation should be nearly gone.
+  const double far = col[(cx + 16) + 33 * cy] / col[center];
+  EXPECT_LT(far, 0.6 * corr);
+}
+
+TEST(MaternPrior, SigmaScalesPointwiseVarianceQuadratically) {
+  MaternPriorConfig a, b;
+  a.sigma = 0.2;
+  b.sigma = 0.4;
+  a.correlation_length = b.correlation_length = 6e3;
+  const MaternPrior pa(15, 15, 1e3, 1e3, a);
+  const MaternPrior pb(15, 15, 1e3, 1e3, b);
+  const std::size_t center = 7 + 15 * 7;
+  EXPECT_NEAR(pb.pointwise_variance(center) / pa.pointwise_variance(center),
+              4.0, 1e-6);
+}
+
+TEST(MaternPrior, RejectsDegenerateGrids) {
+  EXPECT_THROW(MaternPrior(1, 5, 1e3, 1e3), std::invalid_argument);
+  EXPECT_THROW(MaternPrior(5, 1, 1e3, 1e3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsunami

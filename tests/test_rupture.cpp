@@ -1,0 +1,133 @@
+// Tests for the kinematic rupture scenario generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/boundary_ops.hpp"
+#include "fem/h1_space.hpp"
+#include "mesh/hex_mesh.hpp"
+#include "rupture/scenario.hpp"
+
+namespace tsunami {
+namespace {
+
+RuptureConfig single_asperity() {
+  RuptureConfig cfg;
+  Asperity a;
+  a.x0 = 50e3;
+  a.y0 = 60e3;
+  a.rx = 20e3;
+  a.ry = 30e3;
+  a.peak_uplift = 2.0;
+  cfg.asperities.push_back(a);
+  cfg.hypocenter_x = 50e3;
+  cfg.hypocenter_y = 60e3;
+  cfg.rupture_speed = 2000.0;
+  cfg.rise_time = 10.0;
+  return cfg;
+}
+
+TEST(RuptureScenario, FinalUpliftPeaksAtAsperityCenter) {
+  const RuptureScenario sc(single_asperity());
+  EXPECT_NEAR(sc.final_uplift(50e3, 60e3), 2.0, 1e-12);
+  EXPECT_GT(sc.final_uplift(50e3, 60e3), sc.final_uplift(60e3, 60e3));
+  // Compact support: zero outside the ellipse.
+  EXPECT_DOUBLE_EQ(sc.final_uplift(50e3 + 21e3, 60e3), 0.0);
+  EXPECT_DOUBLE_EQ(sc.final_uplift(50e3, 60e3 + 31e3), 0.0);
+}
+
+TEST(RuptureScenario, OnsetTimeGrowsWithHypocentralDistance) {
+  const RuptureScenario sc(single_asperity());
+  EXPECT_DOUBLE_EQ(sc.onset_time(50e3, 60e3), 0.0);
+  EXPECT_NEAR(sc.onset_time(50e3 + 20e3, 60e3), 10.0, 1e-9);  // 20 km @ 2 km/s
+  EXPECT_GT(sc.onset_time(90e3, 60e3), sc.onset_time(70e3, 60e3));
+}
+
+TEST(RuptureScenario, VelocityIsZeroBeforeOnsetAndAfterRise) {
+  const RuptureScenario sc(single_asperity());
+  const double x = 55e3, y = 60e3;
+  const double t0 = sc.onset_time(x, y);
+  EXPECT_DOUBLE_EQ(sc.uplift_velocity(x, y, t0 - 1.0), 0.0);
+  EXPECT_GT(sc.uplift_velocity(x, y, t0 + 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(sc.uplift_velocity(x, y, t0 + 11.0), 0.0);
+}
+
+TEST(RuptureScenario, UpliftRampsFromZeroToFinal) {
+  const RuptureScenario sc(single_asperity());
+  const double x = 52e3, y = 58e3;
+  const double t0 = sc.onset_time(x, y);
+  EXPECT_DOUBLE_EQ(sc.uplift(x, y, t0), 0.0);
+  const double mid = sc.uplift(x, y, t0 + 5.0);
+  const double fin = sc.uplift(x, y, t0 + 20.0);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, fin);
+  EXPECT_NEAR(fin, sc.final_uplift(x, y), 1e-12);
+}
+
+TEST(RuptureScenario, VelocityIntegratesToFinalUplift) {
+  const RuptureScenario sc(single_asperity());
+  const double x = 48e3, y = 63e3;
+  double integral = 0.0;
+  const double dt = 0.05;
+  for (double t = 0.0; t < 60.0; t += dt)
+    integral += dt * sc.uplift_velocity(x, y, t + 0.5 * dt);
+  EXPECT_NEAR(integral, sc.final_uplift(x, y),
+              1e-3 * std::abs(sc.final_uplift(x, y)) + 1e-9);
+}
+
+TEST(MarginWideScenario, SpansTheMargin) {
+  const auto cfg = margin_wide_scenario(150e3, 250e3, 8.7, 7);
+  ASSERT_GE(cfg.asperities.size(), 3u);
+  // Asperities should be distributed along strike (y), covering > half.
+  double ymin = 1e30, ymax = -1e30;
+  for (const auto& a : cfg.asperities) {
+    ymin = std::min(ymin, a.y0);
+    ymax = std::max(ymax, a.y0);
+    EXPECT_GT(a.peak_uplift, 0.0);
+  }
+  EXPECT_GT(ymax - ymin, 0.4 * 250e3);
+}
+
+TEST(MarginWideScenario, MagnitudeScalesUplift) {
+  const auto small = margin_wide_scenario(150e3, 250e3, 8.0, 3);
+  const auto large = margin_wide_scenario(150e3, 250e3, 9.0, 3);
+  double peak_small = 0.0, peak_large = 0.0;
+  for (const auto& a : small.asperities)
+    peak_small = std::max(peak_small, a.peak_uplift);
+  for (const auto& a : large.asperities)
+    peak_large = std::max(peak_large, a.peak_uplift);
+  EXPECT_GT(peak_large, 2.0 * peak_small);
+}
+
+TEST(MarginWideScenario, DeterministicForFixedSeed) {
+  const auto a = margin_wide_scenario(150e3, 250e3, 8.7, 42);
+  const auto b = margin_wide_scenario(150e3, 250e3, 8.7, 42);
+  ASSERT_EQ(a.asperities.size(), b.asperities.size());
+  for (std::size_t i = 0; i < a.asperities.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.asperities[i].peak_uplift, b.asperities[i].peak_uplift);
+}
+
+TEST(RuptureScenario, SampleMatchesPointwiseEvaluation) {
+  const Bathymetry bathy;
+  const HexMesh mesh(bathy, 3, 4, 2);
+  const BasisTables tables(2);
+  const H1Space space(mesh, tables);
+  const BottomSourceMap grid_map(space);
+
+  const RuptureScenario sc(single_asperity());
+  TimeGrid time{.num_intervals = 5, .substeps = 3, .dt = 2.0};
+  const auto m = sc.sample(grid_map, time);
+  ASSERT_EQ(m.size(), grid_map.parameter_dim() * 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double t_mid = (static_cast<double>(i) + 0.5) * time.interval();
+    for (std::size_t r = 0; r < grid_map.parameter_dim(); ++r) {
+      const auto xy = grid_map.node_xy(r);
+      EXPECT_DOUBLE_EQ(m[i * grid_map.parameter_dim() + r],
+                       sc.uplift_velocity(xy[0], xy[1], t_mid));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsunami

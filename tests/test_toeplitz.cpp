@@ -1,0 +1,175 @@
+// Tests for the FFT-based block lower-triangular Toeplitz engine against the
+// O(Nt^2) dense reference, across block shapes, including transpose and
+// multi-RHS paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "toeplitz/block_toeplitz.hpp"
+#include "util/rng.hpp"
+
+namespace tsunami {
+namespace {
+
+struct Shape {
+  std::size_t rows, cols, nt;
+};
+
+std::vector<double> random_blocks(const Shape& s, unsigned seed) {
+  Rng rng(seed);
+  return rng.normal_vector(s.rows * s.cols * s.nt);
+}
+
+class ToeplitzShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ToeplitzShapeTest, ApplyMatchesDenseReference) {
+  const Shape s = GetParam();
+  const auto blocks = random_blocks(s, 11);
+  BlockToeplitz t(s.rows, s.cols, s.nt, blocks);
+  t.set_keep_blocks(blocks);
+
+  Rng rng(12);
+  const auto x = rng.normal_vector(t.input_dim());
+  std::vector<double> y_fft(t.output_dim()), y_ref(t.output_dim());
+  t.apply(x, std::span<double>(y_fft));
+  t.apply_dense_reference(x, std::span<double>(y_ref));
+  const double scale = amax(y_ref) + 1e-30;
+  for (std::size_t i = 0; i < y_ref.size(); ++i)
+    EXPECT_NEAR(y_fft[i], y_ref[i], 1e-11 * scale);
+}
+
+TEST_P(ToeplitzShapeTest, TransposeIsExactAdjoint) {
+  const Shape s = GetParam();
+  const auto blocks = random_blocks(s, 13);
+  BlockToeplitz t(s.rows, s.cols, s.nt, blocks);
+
+  Rng rng(14);
+  const auto x = rng.normal_vector(t.input_dim());
+  const auto d = rng.normal_vector(t.output_dim());
+  std::vector<double> tx(t.output_dim()), ttd(t.input_dim());
+  t.apply(x, std::span<double>(tx));
+  t.apply_transpose(d, std::span<double>(ttd));
+  const double lhs = dot(tx, d);
+  const double rhs = dot(x, ttd);
+  EXPECT_NEAR(lhs, rhs, 1e-10 * std::abs(lhs) + 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ToeplitzShapeTest,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 1, 16}, Shape{3, 5, 7},
+                      Shape{5, 3, 12}, Shape{2, 17, 9}, Shape{8, 8, 32},
+                      Shape{4, 25, 20}));
+
+TEST(BlockToeplitz, LowerTriangularCausality) {
+  // Input supported on the last time block must produce output only there.
+  const Shape s{3, 4, 8};
+  const auto blocks = random_blocks(s, 15);
+  BlockToeplitz t(s.rows, s.cols, s.nt, blocks);
+  Rng rng(16);
+  std::vector<double> x(t.input_dim(), 0.0);
+  for (std::size_t c = 0; c < s.cols; ++c)
+    x[(s.nt - 1) * s.cols + c] = rng.normal();
+  std::vector<double> y(t.output_dim());
+  t.apply(x, std::span<double>(y));
+  for (std::size_t i = 0; i + 1 < s.nt; ++i)
+    for (std::size_t r = 0; r < s.rows; ++r)
+      EXPECT_NEAR(y[i * s.rows + r], 0.0, 1e-12);
+}
+
+TEST(BlockToeplitz, FirstColumnReproducesBlocks) {
+  // T applied to e_(t=0, c) stacks column c of every block.
+  const Shape s{4, 3, 6};
+  const auto blocks = random_blocks(s, 17);
+  BlockToeplitz t(s.rows, s.cols, s.nt, blocks);
+  for (std::size_t c = 0; c < s.cols; ++c) {
+    std::vector<double> e(t.input_dim(), 0.0);
+    e[c] = 1.0;
+    std::vector<double> y(t.output_dim());
+    t.apply(e, std::span<double>(y));
+    for (std::size_t k = 0; k < s.nt; ++k)
+      for (std::size_t r = 0; r < s.rows; ++r)
+        EXPECT_NEAR(y[k * s.rows + r], blocks[(k * s.rows + r) * s.cols + c],
+                    1e-11);
+  }
+}
+
+TEST(BlockToeplitz, ApplyManyMatchesRepeatedApply) {
+  const Shape s{5, 7, 10};
+  const auto blocks = random_blocks(s, 18);
+  BlockToeplitz t(s.rows, s.cols, s.nt, blocks);
+  Rng rng(19);
+  const std::size_t nrhs = 6;
+  Matrix x(t.input_dim(), nrhs);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t v = 0; v < nrhs; ++v) x(i, v) = rng.normal();
+  Matrix y;
+  t.apply_many(x, y);
+  ASSERT_EQ(y.rows(), t.output_dim());
+  ASSERT_EQ(y.cols(), nrhs);
+  for (std::size_t v = 0; v < nrhs; ++v) {
+    std::vector<double> xi(t.input_dim()), yi(t.output_dim());
+    for (std::size_t i = 0; i < xi.size(); ++i) xi[i] = x(i, v);
+    t.apply(xi, std::span<double>(yi));
+    for (std::size_t i = 0; i < yi.size(); ++i)
+      EXPECT_NEAR(y(i, v), yi[i], 1e-11 * (std::abs(yi[i]) + 1.0));
+  }
+}
+
+TEST(BlockToeplitz, ApplyTransposeManyMatchesRepeated) {
+  const Shape s{6, 4, 8};
+  const auto blocks = random_blocks(s, 20);
+  BlockToeplitz t(s.rows, s.cols, s.nt, blocks);
+  Rng rng(21);
+  const std::size_t nrhs = 3;
+  Matrix x(t.output_dim(), nrhs);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t v = 0; v < nrhs; ++v) x(i, v) = rng.normal();
+  Matrix y;
+  t.apply_transpose_many(x, y);
+  ASSERT_EQ(y.rows(), t.input_dim());
+  for (std::size_t v = 0; v < nrhs; ++v) {
+    std::vector<double> xi(t.output_dim()), yi(t.input_dim());
+    for (std::size_t i = 0; i < xi.size(); ++i) xi[i] = x(i, v);
+    t.apply_transpose(xi, std::span<double>(yi));
+    for (std::size_t i = 0; i < yi.size(); ++i)
+      EXPECT_NEAR(y(i, v), yi[i], 1e-11 * (std::abs(yi[i]) + 1.0));
+  }
+}
+
+TEST(BlockToeplitz, ScalarCaseIsDiscreteConvolution) {
+  // rows = cols = 1: y_i = sum_{j<=i} f_{i-j} x_j.
+  const std::vector<double> f{1.0, -0.5, 0.25, 0.125};
+  BlockToeplitz t(1, 1, 4, f);
+  const std::vector<double> x{2.0, 0.0, -1.0, 3.0};
+  std::vector<double> y(4);
+  t.apply(x, std::span<double>(y));
+  EXPECT_NEAR(y[0], 2.0, 1e-12);
+  EXPECT_NEAR(y[1], -1.0, 1e-12);
+  EXPECT_NEAR(y[2], -0.5, 1e-12);
+  EXPECT_NEAR(y[3], 3.75, 1e-12);
+}
+
+TEST(BlockToeplitz, StorageIsCompact) {
+  // Fourier storage is O(L * rows * cols), not O((nt * rows) * (nt * cols)).
+  const Shape s{4, 100, 64};
+  const auto blocks = random_blocks(s, 22);
+  BlockToeplitz t(s.rows, s.cols, s.nt, blocks);
+  const std::size_t dense_bytes =
+      s.rows * s.nt * s.cols * s.nt * sizeof(double);
+  EXPECT_LT(t.storage_bytes(), dense_bytes / 10);
+}
+
+TEST(BlockToeplitz, RejectsBadSizes) {
+  const std::vector<double> blocks(3 * 4 * 5, 1.0);
+  BlockToeplitz t(3, 4, 5, blocks);
+  std::vector<double> x(7), y(15);
+  EXPECT_THROW(t.apply(x, std::span<double>(y)), std::invalid_argument);
+  EXPECT_THROW(BlockToeplitz(3, 4, 6, blocks), std::invalid_argument);
+  EXPECT_THROW(t.apply_dense_reference(x, std::span<double>(y)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace tsunami

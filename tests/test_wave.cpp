@@ -1,0 +1,404 @@
+// Tests for the acoustic-gravity model and the RK4 stepper: energy behavior,
+// exact operator transposes, and convergence-order sanity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/blas.hpp"
+#include "util/rng.hpp"
+#include "wave/acoustic_gravity.hpp"
+#include "wave/observation.hpp"
+#include "wave/stepper.hpp"
+
+namespace tsunami {
+namespace {
+
+std::unique_ptr<AcousticGravityModel> make_model(bool flat = true,
+                                                 std::size_t order = 2) {
+  static Bathymetry flat_bathy(flat_basin(1000.0, 20e3, 20e3));
+  static Bathymetry csz_bathy{BathymetryConfig{}};
+  static HexMesh flat_mesh(flat_bathy, 3, 3, 2);
+  static HexMesh csz_mesh(csz_bathy, 3, 4, 2);
+  return std::make_unique<AcousticGravityModel>(flat ? flat_mesh : csz_mesh,
+                                                order);
+}
+
+TEST(AcousticGravityModel, DimensionsAreConsistent) {
+  const auto model = make_model();
+  EXPECT_EQ(model->state_dim(),
+            model->velocity_dim() + model->pressure_dim());
+  // Pressure: (3*2+1)^2 * (2*2+1); velocity: 3 * 8 elements * 2^3 nodes.
+  EXPECT_EQ(model->pressure_dim(), 7u * 7u * 5u);
+  EXPECT_EQ(model->velocity_dim(), 3u * 18u * 8u);
+}
+
+TEST(AcousticGravityModel, EnergyIsPositiveDefinite) {
+  const auto model = make_model();
+  Rng rng(1);
+  const auto y = rng.normal_vector(model->state_dim());
+  EXPECT_GT(model->energy(y), 0.0);
+  const std::vector<double> zero(model->state_dim(), 0.0);
+  EXPECT_DOUBLE_EQ(model->energy(zero), 0.0);
+}
+
+TEST(AcousticGravityModel, GeneratorTransposeIsExactAdjoint) {
+  for (bool flat : {true, false}) {
+    const auto model = make_model(flat);
+    Rng rng(2);
+    const auto x = rng.normal_vector(model->state_dim());
+    const auto y = rng.normal_vector(model->state_dim());
+    std::vector<double> lx(model->state_dim()), lty(model->state_dim());
+    model->apply_generator(x, std::span<double>(lx));
+    model->apply_generator_transpose(y, std::span<double>(lty));
+    const double lhs = dot(lx, y);
+    const double rhs = dot(x, lty);
+    EXPECT_NEAR(lhs, rhs, 1e-9 * std::abs(lhs) + 1e-12);
+  }
+}
+
+TEST(AcousticGravityModel, SkewPartConservesEnergyDensity) {
+  // Without absorbing boundaries, y^T M Lambda y = -y^T A y = 0 (A is skew
+  // apart from S_a), so dE/dt = 0 along the semi-discrete flow.
+  const auto model = make_model();
+  model->set_absorbing(false);
+  Rng rng(3);
+  const auto y = rng.normal_vector(model->state_dim());
+  std::vector<double> ay(model->state_dim());
+  model->apply_a(y, std::span<double>(ay));
+  const double quad = dot(y, ay);
+  // Scale-invariant check.
+  EXPECT_NEAR(quad / (nrm2(y) * nrm2(ay) + 1e-30), 0.0, 1e-10);
+}
+
+TEST(AcousticGravityModel, AbsorbingTermDissipates) {
+  const auto model = make_model();
+  model->set_absorbing(true);
+  Rng rng(4);
+  const auto y = rng.normal_vector(model->state_dim());
+  std::vector<double> ay(model->state_dim());
+  model->apply_a(y, std::span<double>(ay));
+  // y^T A y = p^T S_a p >= 0 (dissipation).
+  EXPECT_GE(dot(y, ay), 0.0);
+}
+
+TEST(AcousticGravityModel, CflTimestepScalesWithMesh) {
+  const auto model = make_model();
+  const double dt1 = model->cfl_timestep(0.5);
+  const double dt2 = model->cfl_timestep(0.25);
+  EXPECT_GT(dt1, 0.0);
+  EXPECT_NEAR(dt2, 0.5 * dt1, 1e-12);
+}
+
+TEST(Rk4Stepper, EnergyConservedInClosedBasin) {
+  const auto model = make_model();
+  model->set_absorbing(false);
+  Rk4Stepper stepper(*model);
+  Rng rng(5);
+  // Smooth initial pressure bump (normalized), zero velocity.
+  std::vector<double> y(model->state_dim(), 0.0);
+  auto p = model->pressure_part(std::span<double>(y));
+  const auto& h1 = model->h1();
+  for (std::size_t c = 0; c < h1.nz1(); ++c)
+    for (std::size_t b = 0; b < h1.ny1(); ++b)
+      for (std::size_t a = 0; a < h1.nx1(); ++a) {
+        const auto xyz = h1.node_coords(a, b, c);
+        const double dx = (xyz[0] - 10e3) / 4e3;
+        const double dy = (xyz[1] - 10e3) / 4e3;
+        p[h1.node_index(a, b, c)] = std::exp(-dx * dx - dy * dy);
+      }
+  const double e0 = model->energy(y);
+  ASSERT_GT(e0, 0.0);
+  const double dt = model->cfl_timestep(0.3);
+  for (int i = 0; i < 50; ++i) stepper.step(std::span<double>(y), {}, dt);
+  const double e1 = model->energy(y);
+  EXPECT_NEAR(e1 / e0, 1.0, 1e-6);
+}
+
+TEST(Rk4Stepper, AbsorbingBoundaryDrainsEnergy) {
+  const auto model = make_model();
+  model->set_absorbing(true);
+  Rk4Stepper stepper(*model);
+  std::vector<double> y(model->state_dim(), 0.0);
+  auto p = model->pressure_part(std::span<double>(y));
+  const auto& h1 = model->h1();
+  // Broad disturbance touching the lateral walls.
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = 1.0;
+  (void)h1;
+  const double e0 = model->energy(y);
+  const double dt = model->cfl_timestep(0.3);
+  for (int i = 0; i < 200; ++i) stepper.step(std::span<double>(y), {}, dt);
+  const double e1 = model->energy(y);
+  EXPECT_LT(e1, e0);
+}
+
+TEST(Rk4Stepper, StepIsLinearInState) {
+  const auto model = make_model();
+  Rk4Stepper stepper(*model);
+  Rng rng(6);
+  const double dt = model->cfl_timestep(0.3);
+  auto y1 = rng.normal_vector(model->state_dim());
+  auto y2 = rng.normal_vector(model->state_dim());
+  std::vector<double> combo(model->state_dim());
+  const double alpha = 0.7;
+  for (std::size_t i = 0; i < combo.size(); ++i)
+    combo[i] = alpha * y1[i] + y2[i];
+  stepper.step(std::span<double>(y1), {}, dt);
+  stepper.step(std::span<double>(y2), {}, dt);
+  stepper.step(std::span<double>(combo), {}, dt);
+  for (std::size_t i = 0; i < combo.size(); ++i)
+    EXPECT_NEAR(combo[i], alpha * y1[i] + y2[i],
+                1e-11 * (std::abs(combo[i]) + 1.0));
+}
+
+TEST(Rk4Stepper, AdjointStepIsExactTransposeOfStep) {
+  const auto model = make_model(false);  // bathymetry-adapted mesh
+  Rk4Stepper stepper(*model);
+  Rng rng(7);
+  const double dt = model->cfl_timestep(0.4);
+  // <P y, w> == <y, P^T w> for random y, w.
+  auto y = rng.normal_vector(model->state_dim());
+  const auto y0 = y;
+  auto w = rng.normal_vector(model->state_dim());
+  const auto w0 = w;
+  stepper.step(std::span<double>(y), {}, dt);  // y = P y0
+  stepper.adjoint_step(std::span<double>(w), {}, dt);  // w = P^T w0
+  const double lhs = dot(y, w0);
+  const double rhs = dot(y0, w);
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::abs(lhs) + 1e-12);
+}
+
+TEST(Rk4Stepper, SourceOperatorTransposeMatches) {
+  // y' = D b from zero state; adjoint acc = D^T w. Check <D b, w> == <b, D^T w>.
+  const auto model = make_model();
+  Rk4Stepper stepper(*model);
+  Rng rng(8);
+  const double dt = model->cfl_timestep(0.4);
+  const auto b = rng.normal_vector(model->state_dim());
+  const auto w = rng.normal_vector(model->state_dim());
+  std::vector<double> y(model->state_dim(), 0.0);
+  stepper.step(std::span<double>(y), b, dt);  // y = D b
+  auto w_copy = w;
+  std::vector<double> acc(model->state_dim(), 0.0);
+  stepper.adjoint_step(std::span<double>(w_copy), std::span<double>(acc), dt);
+  const double lhs = dot(y, w);
+  const double rhs = dot(b, acc);
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::abs(lhs) + 1e-12);
+}
+
+TEST(Rk4Stepper, FourthOrderConvergence) {
+  // One step of size h vs two steps of size h/2 against four steps of h/4:
+  // Richardson ratio should approach 2^4 = 16 for RK4.
+  const auto model = make_model();
+  model->set_absorbing(false);
+  Rk4Stepper stepper(*model);
+  Rng rng(9);
+  const auto y0 = rng.normal_vector(model->state_dim());
+  const double h = model->cfl_timestep(0.5);
+
+  auto coarse = y0;
+  stepper.step(std::span<double>(coarse), {}, h);
+
+  auto mid = y0;
+  stepper.step(std::span<double>(mid), {}, h / 2);
+  stepper.step(std::span<double>(mid), {}, h / 2);
+
+  auto fine = y0;
+  for (int i = 0; i < 4; ++i) stepper.step(std::span<double>(fine), {}, h / 4);
+
+  double err_coarse = 0.0, err_mid = 0.0;
+  for (std::size_t i = 0; i < y0.size(); ++i) {
+    err_coarse = std::max(err_coarse, std::abs(coarse[i] - fine[i]));
+    err_mid = std::max(err_mid, std::abs(mid[i] - fine[i]));
+  }
+  ASSERT_GT(err_mid, 0.0);
+  const double ratio = err_coarse / err_mid;
+  EXPECT_GT(ratio, 10.0);  // ideal ~16-21 with the Richardson reference
+}
+
+// ---------------------------------------------------------------------------
+// Analytic validation: a standing acoustic mode in a rigid closed box.
+// With absorbing boundaries off and gravity sent to infinity (the free
+// surface degenerates to a rigid lid), the continuum solution
+//   p(x, t)   = A cos(k x) cos(w t),       k = pi / Lx,  w = c k,
+//   u_x(x, t) = A k / (rho w) sin(k x) sin(w t)
+// satisfies the system exactly with u.n = 0 on all walls. After a quarter
+// period the pressure vanishes and the velocity peaks — both checked
+// against the discrete solution, with error decreasing in FE order.
+
+class StandingWaveTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StandingWaveTest, QuarterPeriodMatchesAnalyticSolution) {
+  const std::size_t order = GetParam();
+  const double lx = 30e3, depth = 1500.0;
+  const Bathymetry bathy(flat_basin(depth, lx, 10e3));
+  const HexMesh mesh(bathy, 12, 2, 2);
+  PhysicalConstants constants;
+  constants.gravity = 1e12;  // rigid-lid limit of the free surface
+  AcousticGravityModel model(mesh, order, constants);
+  model.set_absorbing(false);
+  Rk4Stepper stepper(model);
+
+  const double c = constants.sound_speed;
+  const double k = std::numbers::pi / lx;
+  const double w = c * k;
+  const double amp = 100.0;  // Pa
+
+  // Initialize the mode at t = 0 (pressure only).
+  std::vector<double> y(model.state_dim(), 0.0);
+  {
+    auto p = model.pressure_part(std::span<double>(y));
+    const auto& h1 = model.h1();
+    for (std::size_t cc = 0; cc < h1.nz1(); ++cc)
+      for (std::size_t bb = 0; bb < h1.ny1(); ++bb)
+        for (std::size_t aa = 0; aa < h1.nx1(); ++aa) {
+          const auto xyz = h1.node_coords(aa, bb, cc);
+          p[h1.node_index(aa, bb, cc)] = amp * std::cos(k * xyz[0]);
+        }
+  }
+
+  // Integrate to exactly a quarter period.
+  const double t_quarter = std::numbers::pi / (2.0 * w);
+  const double dt_max = model.cfl_timestep(0.3);
+  const auto steps = static_cast<std::size_t>(std::ceil(t_quarter / dt_max));
+  const double dt = t_quarter / static_cast<double>(steps);
+  for (std::size_t i = 0; i < steps; ++i)
+    stepper.step(std::span<double>(y), {}, dt);
+
+  // Pressure must be ~0 relative to the initial amplitude.
+  const auto p = model.pressure_part(std::span<const double>(y));
+  double p_max = 0.0;
+  for (double v : p) p_max = std::max(p_max, std::abs(v));
+
+  // Velocity must match A k/(rho w) sin(k x) at the collocation nodes.
+  const auto u = model.velocity_part(std::span<const double>(y));
+  const double u_amp = amp * k / (constants.rho * w);
+  const auto& gl = model.tables().gl;
+  double u_err = 0.0, u_ref = 0.0;
+  for (std::size_t e = 0; e < mesh.num_elements(); ++e) {
+    const auto ec = mesh.element_coords(e);
+    const double x0 = static_cast<double>(ec[0]) * mesh.dx();
+    const std::size_t q = model.tables().q;
+    for (std::size_t n = 0; n < q * q * q; ++n) {
+      const std::size_t l = n % q;
+      const double x = x0 + 0.5 * (gl.points[l] + 1.0) * mesh.dx();
+      const double expected = u_amp * std::sin(k * x);
+      const double got = u[model.l2().dof(e, 0, n)];
+      u_err = std::max(u_err, std::abs(got - expected));
+      u_ref = std::max(u_ref, std::abs(expected));
+    }
+  }
+  // Tolerances tighten with order (spatial discretization error dominates).
+  const double tol = order == 1 ? 0.08 : (order == 2 ? 0.01 : 0.004);
+  EXPECT_LT(p_max / amp, tol) << "order " << order;
+  EXPECT_LT(u_err / u_ref, tol) << "order " << order;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, StandingWaveTest, ::testing::Values(1, 2, 3));
+
+TEST(StandingWave, ErrorDecreasesWithOrder) {
+  // Run the same mode at orders 1..3 and require monotone error decay.
+  const double lx = 30e3, depth = 1500.0;
+  const Bathymetry bathy(flat_basin(depth, lx, 10e3));
+  const HexMesh mesh(bathy, 8, 2, 2);
+  PhysicalConstants constants;
+  constants.gravity = 1e12;
+  const double c = constants.sound_speed;
+  const double k = std::numbers::pi / lx;
+  const double w = c * k;
+
+  std::vector<double> errors;
+  for (std::size_t order : {1, 2, 3}) {
+    AcousticGravityModel model(mesh, order, constants);
+    model.set_absorbing(false);
+    Rk4Stepper stepper(model);
+    std::vector<double> y(model.state_dim(), 0.0);
+    auto p = model.pressure_part(std::span<double>(y));
+    const auto& h1 = model.h1();
+    for (std::size_t cc = 0; cc < h1.nz1(); ++cc)
+      for (std::size_t bb = 0; bb < h1.ny1(); ++bb)
+        for (std::size_t aa = 0; aa < h1.nx1(); ++aa) {
+          const auto xyz = h1.node_coords(aa, bb, cc);
+          p[h1.node_index(aa, bb, cc)] = std::cos(k * xyz[0]);
+        }
+    const double t_half = std::numbers::pi / w;  // half period: p -> -p
+    const double dt_max = model.cfl_timestep(0.3);
+    const auto steps = static_cast<std::size_t>(std::ceil(t_half / dt_max));
+    const double dt = t_half / static_cast<double>(steps);
+    for (std::size_t i = 0; i < steps; ++i)
+      stepper.step(std::span<double>(y), {}, dt);
+    double err = 0.0;
+    for (std::size_t cc = 0; cc < h1.nz1(); ++cc)
+      for (std::size_t bb = 0; bb < h1.ny1(); ++bb)
+        for (std::size_t aa = 0; aa < h1.nx1(); ++aa) {
+          const auto xyz = h1.node_coords(aa, bb, cc);
+          const double expected = -std::cos(k * xyz[0]);
+          err = std::max(err, std::abs(p[h1.node_index(aa, bb, cc)] -
+                                       expected));
+        }
+    errors.push_back(err);
+  }
+  EXPECT_LT(errors[1], errors[0]);
+  EXPECT_LT(errors[2], errors[1]);
+}
+
+TEST(ObservationOperator, SensorReadsNodalPressureExactly) {
+  const auto model = make_model();
+  // Sensor placed exactly at a bottom GLL node -> unit row.
+  const auto& h1 = model->h1();
+  const auto xyz = h1.node_coords(2, 2, 0);
+  ObservationOperator obs = ObservationOperator::seafloor_sensors(
+      *model, {{xyz[0], xyz[1]}});
+  Rng rng(10);
+  std::vector<double> state = rng.normal_vector(model->state_dim());
+  std::vector<double> d(1);
+  obs.apply(state, std::span<double>(d));
+  const auto p = model->pressure_part(std::span<const double>(state));
+  EXPECT_NEAR(d[0], p[h1.node_index(2, 2, 0)], 1e-10);
+}
+
+TEST(ObservationOperator, SurfaceGaugeScalesByRhoG) {
+  const auto model = make_model();
+  const auto& h1 = model->h1();
+  const auto xyz = h1.node_coords(3, 3, h1.nz1() - 1);
+  ObservationOperator gauges = ObservationOperator::surface_gauges(
+      *model, {{xyz[0], xyz[1]}});
+  std::vector<double> state(model->state_dim(), 0.0);
+  auto p = model->pressure_part(std::span<double>(state));
+  const double rho_g = model->constants().rho * model->constants().gravity;
+  p[h1.node_index(3, 3, h1.nz1() - 1)] = rho_g * 2.5;  // eta = 2.5 m
+  std::vector<double> q(1);
+  gauges.apply(state, std::span<double>(q));
+  EXPECT_NEAR(q[0], 2.5, 1e-10);
+}
+
+TEST(ObservationOperator, ApplyAndTransposeAreAdjoint) {
+  const auto model = make_model(false);
+  ObservationOperator obs = ObservationOperator::seafloor_sensors(
+      *model, sensor_grid(5, 2e3, 100e3, 2e3, 200e3));
+  Rng rng(11);
+  const auto state = rng.normal_vector(model->state_dim());
+  const auto coeffs = rng.normal_vector(obs.num_outputs());
+  std::vector<double> d(obs.num_outputs());
+  obs.apply(state, std::span<double>(d));
+  std::vector<double> back(model->state_dim(), 0.0);
+  obs.apply_transpose_add(coeffs, std::span<double>(back));
+  EXPECT_NEAR(dot(d, coeffs), dot(state, back), 1e-10);
+}
+
+TEST(SensorGrid, ProducesRequestedCountInBounds) {
+  for (std::size_t n : {1u, 5u, 12u, 30u}) {
+    const auto pts = sensor_grid(n, 1e3, 9e3, 2e3, 18e3);
+    EXPECT_EQ(pts.size(), n);
+    for (const auto& p : pts) {
+      EXPECT_GE(p[0], 1e3);
+      EXPECT_LE(p[0], 9e3);
+      EXPECT_GE(p[1], 2e3);
+      EXPECT_LE(p[1], 18e3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsunami
