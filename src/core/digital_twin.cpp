@@ -114,7 +114,7 @@ SyntheticEvent DigitalTwin::synthesize(const RuptureScenario& scenario,
 }
 
 InversionResult DigitalTwin::infer(std::span<const double> d_obs) const {
-  if (!posterior_ || !predictor_)
+  if (!online_ready())
     throw std::logic_error("infer: offline phases not complete");
   InversionResult out;
   {

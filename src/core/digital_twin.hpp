@@ -33,26 +33,48 @@
 
 namespace tsunami {
 
+/// Twin-wide configuration. Every field documents its paper-scale value next
+/// to the reduced seed default: the defaults keep CPU runs interactive while
+/// preserving the paper's structure, so scaling toward the paper is a matter
+/// of turning these knobs up (see README.md "Scaling knobs").
 struct TwinConfig {
   // Mesh and discretization.
+  /// Synthetic Cascadia-like topobathymetry (GEBCO substitution). The paper
+  /// meshes the real margin, ~1000 km along strike; the seed default is a
+  /// flat-bottomed ~60x80 km footprint (examples use up to 120x200 km).
   BathymetryConfig bathymetry{};
+  /// Hex-element counts of the structured footprint mesh. Paper: O(10^6)
+  /// elements (billions of DOFs across GPUs); seed default: 12x18x3 = 648.
   std::size_t mesh_nx = 12, mesh_ny = 18, mesh_nz = 3;
+  /// Polynomial order of the pressure space. Paper: 4 (their throughput
+  /// study's high order); seed default: 2 for fast CPU turnaround.
   std::size_t order = 2;
+  /// Water/gravity/acoustic constants; defaults match the paper's ocean.
   PhysicalConstants physics{};
+  /// Wave-operator implementation (the Fig. 7 optimization ladder). Paper
+  /// and seed both default to the fused partial-assembly kernel.
   KernelVariant kernel = KernelVariant::FusedPA;
+  /// CFL fraction for the explicit RK4 substep. Paper runs near the acoustic
+  /// stability limit; 0.3 leaves margin on coarse seed meshes.
   double cfl = 0.3;
 
   // Observations.
   std::size_t num_sensors = 12;   ///< seafloor pressure sensors (paper: 600)
   std::size_t num_gauges = 5;     ///< QoI forecast locations (paper: 21)
-  std::size_t num_intervals = 30; ///< Nt (paper: 420 at 1 Hz)
-  double observation_dt = 4.0;    ///< seconds between observations
+  std::size_t num_intervals = 30; ///< Nt observation intervals (paper: 420)
+  /// Seconds between observations. Paper: 1.0 (1 Hz for 420 s); seed
+  /// default: 4.0 so Nt=30 still spans a two-minute window on CPU.
+  double observation_dt = 4.0;
 
   // Inference.
+  /// Matern (biLaplacian) prior on the seafloor velocity parameter field.
+  /// Paper: correlation length ~25 km at margin scale; seed tiny(): 20 km.
   MaternPriorConfig prior{};
   double noise_level = 0.01;      ///< relative noise (paper: 1%)
 
-  /// A small config that keeps unit tests fast.
+  /// A small config that keeps unit tests fast: 6x8x2 mesh, 6 sensors,
+  /// 3 gauges, Nt=12 at 5 s — the same pipeline at ~1/50 the paper's Nt
+  /// and ~1/100 its sensor count.
   static TwinConfig tiny();
 };
 
@@ -99,6 +121,9 @@ class DigitalTwin {
                                           Rng& rng) const;
 
   // ---- online phase --------------------------------------------------------
+  /// True once phases 1-3 have run and `infer` may be called.
+  [[nodiscard]] bool online_ready() const { return posterior_ && predictor_; }
+
   /// Phase 4: real-time inference + forecasting. Requires phases 1-3.
   [[nodiscard]] InversionResult infer(std::span<const double> d_obs) const;
 

@@ -217,30 +217,32 @@ void MixedOperator::apply_initial(std::span<const double> p_in,
       double* uo = u_out.data() + l2_.block_offset(e, 0);
 
       for (std::size_t pt = 0; pt < q3; ++pt) {
-        // Reference gradient of p at this point: full basis loop (naive).
-        double g[3] = {0.0, 0.0, 0.0};
-        const double* trow = tab + pt * n13 * 3;
-        for (std::size_t dof = 0; dof < n13; ++dof) {
-          const double pv = pe[dof];
-          g[0] += trow[3 * dof + 0] * pv;
-          g[1] += trow[3 * dof + 1] * pv;
-          g[2] += trow[3 * dof + 2] * pv;
-        }
         const double* G = gf + (e * q3 + pt) * 9;
-        // Gradient block: out_u = sg * G g.
-        for (std::size_t d = 0; d < 3; ++d)
-          uo[d * q3 + pt] =
-              sg * (G[3 * d] * g[0] + G[3 * d + 1] * g[1] + G[3 * d + 2] * g[2]);
-        // Divergence block: s = G^T u; accumulate over all basis functions.
+        // Divergence-side geometry first: s = G^T u at this point.
         const double ux = ue[0 * q3 + pt], uy = ue[1 * q3 + pt],
                      uz = ue[2 * q3 + pt];
         const double s0 = G[0] * ux + G[3] * uy + G[6] * uz;
         const double s1 = G[1] * ux + G[4] * uy + G[7] * uz;
         const double s2 = G[2] * ux + G[5] * uy + G[8] * uz;
+        // One fused all-basis sweep: the reference-gradient row trow is
+        // loaded once per point and feeds BOTH the gradient evaluation
+        // (g += trow^T pe) and the divergence accumulation (acc += trow s),
+        // instead of the former two back-to-back loops over the same row.
+        double g[3] = {0.0, 0.0, 0.0};
+        const double* trow = tab + pt * n13 * 3;
         for (std::size_t dof = 0; dof < n13; ++dof) {
-          acc[dof] += trow[3 * dof + 0] * s0 + trow[3 * dof + 1] * s1 +
-                      trow[3 * dof + 2] * s2;
+          const double t0 = trow[3 * dof + 0], t1 = trow[3 * dof + 1],
+                       t2 = trow[3 * dof + 2];
+          const double pv = pe[dof];
+          g[0] += t0 * pv;
+          g[1] += t1 * pv;
+          g[2] += t2 * pv;
+          acc[dof] += t0 * s0 + t1 * s1 + t2 * s2;
         }
+        // Gradient block: out_u = sg * G g.
+        for (std::size_t d = 0; d < 3; ++d)
+          uo[d * q3 + pt] =
+              sg * (G[3 * d] * g[0] + G[3 * d + 1] * g[1] + G[3 * d + 2] * g[2]);
       }
       for (std::size_t dof = 0; dof < n13; ++dof) acc[dof] *= sd;
       scatter_pressure(h1_, ec[0], ec[1], ec[2], acc, p_out.data());

@@ -1,0 +1,154 @@
+// Tests of the batched scenario-ensemble subsystem: spec generation,
+// synthesis, shared noise calibration, and the batched online sweep
+// (parallel == serial, sane accuracy aggregates, amortized latency).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/scenario_bank.hpp"
+#include "linalg/blas.hpp"
+
+namespace tsunami {
+namespace {
+
+/// Shared fixture: one tiny twin, a small bank, offline phases run once.
+class ScenarioBankTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kBankSize = 4;
+
+  static void SetUpTestSuite() {
+    twin_ = new DigitalTwin(TwinConfig::tiny());
+    bank_ = new ScenarioBank(*twin_,
+                             ScenarioBank::spread(*twin_, kBankSize, 2026));
+    bank_->synthesize(7);
+    twin_->run_offline(bank_->shared_noise());
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    delete twin_;
+    bank_ = nullptr;
+    twin_ = nullptr;
+  }
+
+  static DigitalTwin* twin_;
+  static ScenarioBank* bank_;
+};
+
+DigitalTwin* ScenarioBankTest::twin_ = nullptr;
+ScenarioBank* ScenarioBankTest::bank_ = nullptr;
+
+TEST_F(ScenarioBankTest, SpreadProducesDistinctScenarios) {
+  const auto& specs = bank_->specs();
+  ASSERT_EQ(specs.size(), kBankSize);
+  std::set<unsigned> seeds;
+  for (const auto& s : specs) seeds.insert(s.seed);
+  EXPECT_EQ(seeds.size(), kBankSize) << "asperity layouts must differ";
+  // Magnitudes span the ladder and hypocenters sweep along strike.
+  EXPECT_LT(specs.front().magnitude, specs.back().magnitude);
+  EXPECT_LT(specs.front().hypocenter_y, specs.back().hypocenter_y);
+  for (const auto& s : specs) {
+    EXPECT_GE(s.magnitude, 7.9);
+    EXPECT_LE(s.magnitude, 9.2);
+    EXPECT_GT(s.rise_time, 0.0);
+    EXPECT_GT(s.rupture_speed, 0.0);
+    EXPECT_FALSE(s.name.empty());
+  }
+}
+
+TEST_F(ScenarioBankTest, SpreadIsDeterministic) {
+  const auto a = ScenarioBank::spread(*twin_, kBankSize, 2026);
+  const auto b = ScenarioBank::spread(*twin_, kBankSize, 2026);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].magnitude, b[i].magnitude);
+    EXPECT_DOUBLE_EQ(a[i].hypocenter_y, b[i].hypocenter_y);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST_F(ScenarioBankTest, SynthesisProducesDistinctSignals) {
+  const auto& events = bank_->events();
+  ASSERT_EQ(events.size(), kBankSize);
+  for (const auto& ev : events) {
+    EXPECT_GT(amax(ev.d_true), 0.0);
+    EXPECT_GT(ev.noise.sigma, 0.0);
+  }
+  // Different magnitudes give measurably different data energy.
+  double lo = 1e300, hi = 0.0;
+  for (const auto& ev : events) {
+    const double peak = amax(ev.d_true);
+    lo = std::min(lo, peak);
+    hi = std::max(hi, peak);
+  }
+  EXPECT_GT(hi, 1.5 * lo);
+}
+
+TEST_F(ScenarioBankTest, SharedNoiseFloorAppliesToEveryEvent) {
+  const NoiseModel nm = bank_->shared_noise();
+  EXPECT_GT(nm.sigma, 0.0);
+  for (const auto& ev : bank_->events()) {
+    // One absolute noise floor across the bank (fixed instrument noise),
+    // so the once-factorized Hessian is exactly calibrated for each event.
+    EXPECT_DOUBLE_EQ(ev.noise.sigma, nm.sigma);
+    double max_dev = 0.0;
+    for (std::size_t j = 0; j < ev.d_true.size(); ++j)
+      max_dev = std::max(max_dev, std::abs(ev.d_obs[j] - ev.d_true[j]));
+    EXPECT_GT(max_dev, 0.0);
+    EXPECT_LT(max_dev, 6.0 * nm.sigma);
+  }
+}
+
+TEST_F(ScenarioBankTest, BatchedOnlineSweepRecoversEveryScenario) {
+  const EnsembleReport report = bank_->run_online();
+  ASSERT_EQ(report.scenarios.size(), kBankSize);
+  for (const auto& r : report.scenarios) {
+    EXPECT_GT(r.online_seconds, 0.0);
+    EXPECT_LT(r.online_seconds, 5.0);
+    EXPECT_TRUE(std::isfinite(r.displacement_error));
+    EXPECT_TRUE(std::isfinite(r.forecast_error));
+    EXPECT_TRUE(std::isfinite(r.forecast_correlation));
+    // The inversion must recover each source pattern, not just one.
+    // Displacement correlation is the robust seed-scale recovery metric
+    // (see ScenarioResult::displacement_correlation).
+    EXPECT_GT(r.displacement_correlation, 0.4) << r.spec.name;
+    EXPECT_GT(r.peak_true_uplift, 0.0);
+    EXPECT_GE(r.ci_coverage, 0.0);
+    EXPECT_LE(r.ci_coverage, 1.0);
+  }
+  EXPECT_GT(report.mean_displacement_correlation, 0.55);
+  EXPECT_GT(report.online_wall_seconds, 0.0);
+  EXPECT_GT(report.max_online_seconds, 0.0);
+  EXPECT_LE(report.mean_online_seconds, report.max_online_seconds + 1e-15);
+  EXPECT_FALSE(report.table().empty());
+}
+
+TEST_F(ScenarioBankTest, ParallelMatchesSerial) {
+  const EnsembleReport par = bank_->run_online(/*parallel=*/true);
+  const EnsembleReport ser = bank_->run_online(/*parallel=*/false);
+  ASSERT_EQ(par.scenarios.size(), ser.scenarios.size());
+  for (std::size_t i = 0; i < par.scenarios.size(); ++i) {
+    // Deterministic linear algebra: identical results, only timings differ.
+    EXPECT_DOUBLE_EQ(par.scenarios[i].displacement_error,
+                     ser.scenarios[i].displacement_error);
+    EXPECT_DOUBLE_EQ(par.scenarios[i].forecast_error,
+                     ser.scenarios[i].forecast_error);
+  }
+}
+
+TEST(ScenarioBankErrors, MisuseThrows) {
+  DigitalTwin twin(TwinConfig::tiny());
+  EXPECT_THROW(ScenarioBank(twin, {}), std::invalid_argument);
+  EXPECT_THROW((void)ScenarioBank::spread(twin, 0), std::invalid_argument);
+  ScenarioBank bank(twin, ScenarioBank::spread(twin, 2));
+  EXPECT_THROW((void)bank.shared_noise(), std::logic_error);
+  EXPECT_THROW((void)bank.run_online(), std::logic_error);
+  // Synthesized but offline phases not run: must throw (from outside the
+  // parallel region), not terminate.
+  bank.synthesize(7);
+  EXPECT_THROW((void)bank.run_online(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tsunami
