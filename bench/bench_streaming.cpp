@@ -1,0 +1,164 @@
+// Per-tick latency of the streaming assimilation engine vs. tick index, and
+// against the two re-solve alternatives it replaces:
+//
+//   stream push      — StreamingAssimilator::push: extend z = L^{-1} d by one
+//                      block row + two slab accumulations. Dominated by the
+//                      constant slab term, so latency grows SUB-linearly in
+//                      the tick index (the forward-substitution extension is
+//                      the only t-dependent piece; there is no per-tick
+//                      refactorization anywhere).
+//   truncated solve  — from-scratch solve of the leading (t Nd) subsystem on
+//                      the cached factor (prefix forward + backward
+//                      substitution, O((t Nd)^2), plus the matrix-free G*
+//                      lift, whose FFT cost is constant per tick and
+//                      dominates at seed scale): the cheapest
+//                      non-incremental exact alternative.
+//   full re-solve    — batch DigitalTwin::infer on the zero-padded window
+//                      every tick: what the pre-streaming front door had to
+//                      do to refresh m_map + forecast mid-event.
+//
+// Expected shape: the push column stays near-flat in tens of microseconds
+// (sub-linear growth — no refactorization, and the t-dependent forward-
+// substitution extension is subdominant to the constant slab term), while
+// every re-solve pays the milliseconds-per-tick lift the streaming engine
+// amortized into its offline slabs. The last-quarter / first-quarter mean
+// latencies and the whole-event totals are printed at the end (quoted in
+// the PR description).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/digital_twin.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace tsunami;
+
+  TwinConfig config = TwinConfig::tiny();
+  config.num_sensors = 8;
+  config.num_gauges = 3;
+  config.num_intervals = 48;  // enough ticks to see the growth law
+  config.observation_dt = 2.0;
+  DigitalTwin twin(config);
+
+  RuptureConfig rc;
+  Asperity a;
+  a.x0 = 0.3 * twin.mesh().length_x();
+  a.y0 = 0.5 * twin.mesh().length_y();
+  a.rx = 16e3;
+  a.ry = 24e3;
+  a.peak_uplift = 2.2;
+  rc.asperities.push_back(a);
+  rc.hypocenter_x = a.x0;
+  rc.hypocenter_y = a.y0;
+  Rng rng(9);
+  const SyntheticEvent event = twin.synthesize(RuptureScenario(rc), rng);
+  twin.run_offline(event.noise);
+  const StreamingEngine engine = twin.make_streaming({.track_map = true});
+
+  const std::size_t nt = engine.num_ticks();
+  const std::size_t nd = engine.block_size();
+  std::printf("=== Streaming assimilation: per-tick latency ===\n");
+  std::printf(
+      "data dim %zu (%zu sensors x %zu ticks) | parameters %zu | "
+      "streaming precompute %s (offline, once per network)\n\n",
+      engine.data_dim(), nd, nt, engine.parameter_dim(),
+      format_duration(engine.precompute_seconds()).c_str());
+
+  // Per-tick push latency: min over replays (the usual microbenchmark
+  // discipline — scheduling noise only ever adds time).
+  const int replays = 7;
+  std::vector<double> push_s(nt, 1e300);
+  StreamingAssimilator assim = engine.start();
+  for (int r = 0; r < replays; ++r) {
+    assim.reset();
+    for (std::size_t t = 0; t < nt; ++t) {
+      assim.push(t, std::span<const double>(event.d_obs).subspan(t * nd, nd));
+      push_s[t] = std::min(push_s[t], assim.last_push_seconds());
+    }
+  }
+
+  // Truncated exact re-solve at tick t (prefix solves + prefix G* + Fq m).
+  const DenseCholesky& chol = twin.hessian().cholesky();
+  std::vector<double> trunc_s(nt, 1e300);
+  std::vector<double> u(engine.data_dim());
+  std::vector<double> m(engine.parameter_dim());
+  std::vector<double> q(engine.qoi_dim());
+  for (int r = 0; r < std::max(2, replays / 2); ++r) {
+    for (std::size_t t = 0; t < nt; ++t) {
+      const std::size_t p = (t + 1) * nd;
+      Stopwatch w;
+      std::copy(event.d_obs.begin(),
+                event.d_obs.begin() + static_cast<std::ptrdiff_t>(p),
+                u.begin());
+      chol.forward_solve_range(std::span<double>(u), 0, p);
+      chol.backward_solve_prefix(std::span<double>(u), p);
+      twin.posterior().apply_gstar_prefix(
+          std::span<const double>(u).first(p), t + 1, std::span<double>(m));
+      twin.predictor().apply_fq_mean(m, std::span<double>(q));
+      trunc_s[t] = std::min(trunc_s[t], w.seconds());
+    }
+  }
+
+  // Full zero-padded batch re-solve per tick (the pre-streaming approach).
+  std::vector<double> full_s(nt, 1e300);
+  std::vector<double> window(engine.data_dim(), 0.0);
+  for (std::size_t t = 0; t < nt; ++t) {
+    std::copy(event.d_obs.begin() + static_cast<std::ptrdiff_t>(t * nd),
+              event.d_obs.begin() + static_cast<std::ptrdiff_t>((t + 1) * nd),
+              window.begin() + static_cast<std::ptrdiff_t>(t * nd));
+    const InversionResult inv = twin.infer(window);
+    full_s[t] = inv.infer_seconds + inv.predict_seconds;
+  }
+
+  TextTable table({"tick", "stream push", "truncated solve", "full re-solve",
+                   "push/trunc"});
+  for (std::size_t t = 0; t < nt; ++t) {
+    if (t % 4 != 3 && t != 0) continue;  // print every 4th tick
+    table.row()
+        .cell(static_cast<long>(t + 1))
+        .cell(format_duration(push_s[t]))
+        .cell(format_duration(trunc_s[t]))
+        .cell(format_duration(full_s[t]))
+        .cell(push_s[t] / trunc_s[t], 3);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  const auto quarter_mean = [&](const std::vector<double>& s, bool late) {
+    const std::size_t q4 = nt / 4;
+    double sum = 0.0;
+    for (std::size_t t = 0; t < q4; ++t) sum += s[late ? nt - 1 - t : t];
+    return sum / static_cast<double>(q4);
+  };
+  const double push_early = quarter_mean(push_s, false);
+  const double push_late = quarter_mean(push_s, true);
+  const double trunc_early = quarter_mean(trunc_s, false);
+  const double trunc_late = quarter_mean(trunc_s, true);
+  double push_total = 0.0, trunc_total = 0.0, full_total = 0.0;
+  for (std::size_t t = 0; t < nt; ++t) {
+    push_total += push_s[t];
+    trunc_total += trunc_s[t];
+    full_total += full_s[t];
+  }
+
+  std::printf("growth, last-quarter / first-quarter mean latency (tick index "
+              "grows ~%.0fx):\n",
+              static_cast<double>(nt - nt / 8) / (0.5 + nt / 8.0));
+  std::printf("  stream push     %s -> %s  (%.2fx, sub-linear: no "
+              "refactorization, slab term dominates)\n",
+              format_duration(push_early).c_str(),
+              format_duration(push_late).c_str(), push_late / push_early);
+  std::printf("  truncated solve %s -> %s  (%.2fx; dominated by the "
+              "constant matrix-free G* lift at seed scale — its O((t Nd)^2) "
+              "substitutions take over at paper dims)\n",
+              format_duration(trunc_early).c_str(),
+              format_duration(trunc_late).c_str(), trunc_late / trunc_early);
+  std::printf("\nwhole-event totals: stream %s | truncated re-solves %s "
+              "(%.1fx) | full re-solves %s (%.1fx)\n",
+              format_duration(push_total).c_str(),
+              format_duration(trunc_total).c_str(), trunc_total / push_total,
+              format_duration(full_total).c_str(), full_total / push_total);
+  return 0;
+}

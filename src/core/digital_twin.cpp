@@ -130,6 +130,13 @@ InversionResult DigitalTwin::infer(std::span<const double> d_obs) const {
   return out;
 }
 
+StreamingEngine DigitalTwin::make_streaming(const StreamingOptions& options,
+                                            TimerRegistry* timers) const {
+  if (!online_ready())
+    throw std::logic_error("make_streaming: offline phases not complete");
+  return StreamingEngine(*posterior_, *predictor_, options, timers);
+}
+
 std::vector<double> DigitalTwin::displacement_field(
     std::span<const double> m) const {
   const std::size_t nm = model_->source_map().parameter_dim();

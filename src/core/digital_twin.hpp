@@ -23,6 +23,7 @@
 #include "core/forecast.hpp"
 #include "core/p2o_builder.hpp"
 #include "core/posterior.hpp"
+#include "core/streaming_assimilator.hpp"
 #include "mesh/bathymetry.hpp"
 #include "mesh/hex_mesh.hpp"
 #include "prior/matern_prior.hpp"
@@ -126,6 +127,16 @@ class DigitalTwin {
 
   /// Phase 4: real-time inference + forecasting. Requires phases 1-3.
   [[nodiscard]] InversionResult infer(std::span<const double> d_obs) const;
+
+  /// Build the streaming front door over the offline operators: an engine
+  /// whose assimilators ingest one observation interval per push and
+  /// maintain the exact truncated posterior (rolling m_map + forecast) with
+  /// no refactorization. Requires phases 1-3; the twin must outlive the
+  /// engine. See src/core/streaming_assimilator.hpp for the prefix-Cholesky
+  /// argument.
+  [[nodiscard]] StreamingEngine make_streaming(
+      const StreamingOptions& options = {},
+      TimerRegistry* timers = nullptr) const;
 
   // ---- diagnostics ---------------------------------------------------------
   /// Time-integrated seafloor displacement b(x) = int m dt (Fig. 3 fields).

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "linalg/blas.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace tsunami {
 
@@ -20,6 +21,34 @@ void Posterior::apply_gstar(std::span<const double> y,
   std::vector<double> ft(parameter_dim());
   f_.apply_transpose(y, std::span<double>(ft));
   prior_.apply_time_blocks(ft, m, time_dim());
+}
+
+void Posterior::apply_gstar_many(const Matrix& y_cols, Matrix& m_cols) const {
+  if (y_cols.rows() != data_dim())
+    throw std::invalid_argument("Posterior::apply_gstar_many: row mismatch");
+  Matrix ft_cols;  // parameter_dim x nrhs
+  f_.apply_transpose_many(y_cols, ft_cols);
+  const std::size_t nrhs = y_cols.cols();
+  m_cols = Matrix(parameter_dim(), nrhs);
+  parallel_for_min(nrhs, 2, [&](std::size_t c) {
+    std::vector<double> in(parameter_dim()), out(parameter_dim());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = ft_cols(i, c);
+    prior_.apply_time_blocks(in, std::span<double>(out), time_dim());
+    for (std::size_t i = 0; i < out.size(); ++i) m_cols(i, c) = out[i];
+  });
+}
+
+void Posterior::apply_gstar_prefix(std::span<const double> y, std::size_t ticks,
+                                   std::span<double> m) const {
+  const std::size_t nd = f_.block_rows();
+  if (ticks > time_dim() || y.size() < ticks * nd)
+    throw std::invalid_argument("Posterior::apply_gstar_prefix: bad prefix");
+  // Zero-padding the unseen intervals is exact: the missing rows of F
+  // contribute nothing to F^T y when their data weights are zero.
+  std::vector<double> padded(data_dim(), 0.0);
+  std::copy(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(ticks * nd),
+            padded.begin());
+  apply_gstar(padded, m);
 }
 
 void Posterior::apply_g(std::span<const double> v, std::span<double> d) const {

@@ -31,6 +31,19 @@ class Posterior {
   /// G* y = Gamma_prior F^T y  (data space -> parameter space).
   void apply_gstar(std::span<const double> y, std::span<double> m) const;
 
+  /// Multi-RHS G*: columns of `y_cols` (data_dim rows) mapped column-wise to
+  /// `m_cols` (parameter_dim rows). Batches the Toeplitz transpose through
+  /// the multi-RHS FFT path; used by the streaming engine to bake
+  /// Gamma_prior F^T L^{-T} into a per-tick-updatable operator.
+  void apply_gstar_many(const Matrix& y_cols, Matrix& m_cols) const;
+
+  /// Prefix G*: treats `y` as the leading `ticks` observation intervals of a
+  /// data-space vector (remaining intervals zero) and applies G*. This is
+  /// exactly G restricted to the rows available at tick `ticks` — the
+  /// adjoint the truncated (streaming) posterior needs.
+  void apply_gstar_prefix(std::span<const double> y, std::size_t ticks,
+                          std::span<double> m) const;
+
   /// G v = F Gamma_prior v  (parameter space -> data space).
   void apply_g(std::span<const double> v, std::span<double> d) const;
 

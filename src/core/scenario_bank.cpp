@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <span>
 #include <stdexcept>
 
 #include "linalg/blas.hpp"
@@ -92,16 +93,18 @@ RuptureConfig ScenarioBank::rupture_config(const ScenarioSpec& spec) const {
 }
 
 void ScenarioBank::synthesize(unsigned noise_seed) {
-  events_.clear();
-  events_.reserve(specs_.size());
-  std::vector<double> sigmas;
-  sigmas.reserve(specs_.size());
-  for (std::size_t i = 0; i < specs_.size(); ++i) {
+  events_.assign(specs_.size(), SyntheticEvent{});
+  // Parallel over scenarios; every draw comes from a per-scenario stream
+  // seeded by (noise_seed, index) alone, and the forward model writes only
+  // disjoint state, so the bank is bit-identical at any thread count.
+  parallel_for(specs_.size(), [&](std::size_t i) {
     const RuptureScenario scenario(rupture_config(specs_[i]));
     Rng rng(noise_seed + static_cast<unsigned>(i));
-    events_.push_back(twin_.synthesize(scenario, rng));
-    sigmas.push_back(events_.back().noise.sigma);
-  }
+    events_[i] = twin_.synthesize(scenario, rng);
+  });
+  std::vector<double> sigmas;
+  sigmas.reserve(events_.size());
+  for (const auto& ev : events_) sigmas.push_back(ev.noise.sigma);
   // One absolute noise floor for the whole bank: the median of the per-event
   // relative calibrations. A real seafloor network has fixed instrument
   // noise, not noise that scales with each event — and it lets the Hessian
@@ -109,13 +112,13 @@ void ScenarioBank::synthesize(unsigned noise_seed) {
   std::nth_element(sigmas.begin(), sigmas.begin() + sigmas.size() / 2,
                    sigmas.end());
   const double sigma = sigmas[sigmas.size() / 2];
-  for (std::size_t i = 0; i < events_.size(); ++i) {
+  parallel_for(events_.size(), [&](std::size_t i) {
     SyntheticEvent& ev = events_[i];
     ev.noise = NoiseModel{sigma};
     Rng rng(noise_seed + 7919u * static_cast<unsigned>(i + 1));
     ev.d_obs = ev.d_true;
     for (auto& v : ev.d_obs) v += sigma * rng.normal();
-  }
+  });
 }
 
 NoiseModel ScenarioBank::shared_noise() const {
@@ -195,6 +198,133 @@ EnsembleReport ScenarioBank::run_online(bool parallel) const {
     report.mean_ci_coverage += r.ci_coverage / n;
   }
   return report;
+}
+
+StreamingSweepReport ScenarioBank::run_streaming(const StreamingEngine& engine,
+                                                 bool parallel,
+                                                 double tolerance) const {
+  if (events_.size() != specs_.size())
+    throw std::logic_error("ScenarioBank::run_streaming: synthesize() first");
+  // Full dimension check up front: a mismatch surfacing inside the
+  // parallel_for below would terminate instead of propagating.
+  if (engine.data_dim() != twin_.data_dim() ||
+      engine.num_ticks() != twin_.time_grid().num_intervals ||
+      engine.qoi_dim() != events_.front().q_true.size())
+    throw std::invalid_argument(
+        "ScenarioBank::run_streaming: engine/twin dimension mismatch");
+  if (tolerance <= 0.0)
+    throw std::invalid_argument("ScenarioBank::run_streaming: tolerance <= 0");
+
+  const std::size_t nt = engine.num_ticks();
+  const std::size_t nd = engine.block_size();
+  const double dt = twin_.config().observation_dt;
+
+  StreamingSweepReport report;
+  report.tolerance = tolerance;
+  report.scenarios.resize(specs_.size());
+
+  Stopwatch wall;
+  const auto run_one = [&](std::size_t i) {
+    const SyntheticEvent& ev = events_[i];
+    StreamingScenarioResult& res = report.scenarios[i];
+    res.spec = specs_[i];
+    res.ticks_total = nt;
+
+    StreamingAssimilator assim = engine.start();
+    Matrix q_history(nt, engine.qoi_dim());
+    for (std::size_t t = 0; t < nt; ++t) {
+      assim.push(t, std::span<const double>(ev.d_obs).subspan(t * nd, nd));
+      res.max_push_seconds =
+          std::max(res.max_push_seconds, assim.last_push_seconds());
+      const auto& q = assim.qoi_mean();
+      std::copy(q.begin(), q.end(), q_history.row(t).begin());
+    }
+    res.mean_push_seconds =
+        assim.total_push_seconds() / static_cast<double>(nt);
+
+    // Time-to-confident-forecast: walk back from the final tick while the
+    // rolling mean stays within tolerance of the full-data forecast.
+    const auto q_final = q_history.row(nt - 1);
+    const double q_norm = nrm2(q_final) + 1e-30;
+    std::size_t confident = nt;
+    for (std::size_t t = nt; t-- > 0;) {
+      double diff2 = 0.0;
+      const auto q_t = q_history.row(t);
+      for (std::size_t j = 0; j < q_t.size(); ++j) {
+        const double d = q_t[j] - q_final[j];
+        diff2 += d * d;
+      }
+      if (std::sqrt(diff2) / q_norm > tolerance) break;
+      confident = t + 1;
+    }
+    res.confident_tick = confident;
+    res.confident_seconds = static_cast<double>(confident) * dt;
+
+    res.final_forecast_error =
+        DigitalTwin::relative_error(q_final, ev.q_true);
+    res.final_forecast_correlation = correlation(q_final, ev.q_true);
+    res.map_tracked = engine.tracks_map();
+    if (res.map_tracked) {
+      const auto b_true = twin_.displacement_field(ev.m_true);
+      const auto b_map = twin_.displacement_field(assim.map_estimate());
+      res.displacement_correlation = correlation(b_map, b_true);
+    }
+  };
+
+  if (parallel) {
+    parallel_for(specs_.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < specs_.size(); ++i) run_one(i);
+  }
+  report.wall_seconds = wall.seconds();
+
+  const double n = static_cast<double>(report.scenarios.size());
+  for (const auto& r : report.scenarios) {
+    report.mean_confident_seconds += r.confident_seconds / n;
+    report.max_confident_seconds =
+        std::max(report.max_confident_seconds, r.confident_seconds);
+    report.mean_confident_fraction += static_cast<double>(r.confident_tick) /
+                                      static_cast<double>(r.ticks_total) / n;
+    report.mean_push_seconds += r.mean_push_seconds / n;
+    report.max_push_seconds =
+        std::max(report.max_push_seconds, r.max_push_seconds);
+  }
+  return report;
+}
+
+std::string StreamingSweepReport::table() const {
+  TextTable t({"Scenario", "Mw", "confident @", "ticks", "mean push",
+               "max push", "q err", "q corr", "b corr"});
+  for (const auto& r : scenarios) {
+    char ticks[32];
+    std::snprintf(ticks, sizeof(ticks), "%zu/%zu", r.confident_tick,
+                  r.ticks_total);
+    t.row()
+        .cell(r.spec.name)
+        .cell(r.spec.magnitude, 2)
+        .cell(format_duration(r.confident_seconds) + " data time")
+        .cell(ticks)
+        .cell(format_duration(r.mean_push_seconds))
+        .cell(format_duration(r.max_push_seconds))
+        .cell(r.final_forecast_error, 3)
+        .cell(r.final_forecast_correlation, 3);
+    if (r.map_tracked) {
+      t.cell(r.displacement_correlation, 3);
+    } else {
+      t.cell("n/a");
+    }
+  }
+  t.row()
+      .cell("sweep mean")
+      .cell("")
+      .cell(format_duration(mean_confident_seconds) + " data time")
+      .cell("")
+      .cell(format_duration(mean_push_seconds))
+      .cell(format_duration(max_push_seconds))
+      .cell("")
+      .cell("")
+      .cell("");
+  return t.str();
 }
 
 std::string EnsembleReport::table() const {

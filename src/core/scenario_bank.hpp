@@ -79,6 +79,42 @@ struct ScenarioResult {
   double peak_inferred_uplift = 0.0;   ///< max |b_map| [m]
 };
 
+/// Per-scenario outcome of one streaming (tick-by-tick) replay.
+struct StreamingScenarioResult {
+  ScenarioSpec spec;
+  std::size_t ticks_total = 0;
+  /// Earliest tick count after which the rolling forecast mean stays within
+  /// the sweep's relative tolerance of the final (full-data) forecast — the
+  /// "time-to-confident-forecast" an early-warning operator cares about.
+  std::size_t confident_tick = 0;
+  double confident_seconds = 0.0;  ///< confident_tick in data time [s]
+  double mean_push_seconds = 0.0;  ///< mean per-tick assimilation latency
+  double max_push_seconds = 0.0;   ///< worst per-tick assimilation latency
+  double final_forecast_error = 0.0;        ///< rel. L2 of final q vs q_true
+  double final_forecast_correlation = 0.0;  ///< normalized <q, q_true>
+  /// Normalized <b_map, b_true> at the final tick. Only meaningful when
+  /// `map_tracked`; the table prints "n/a" otherwise.
+  double displacement_correlation = 0.0;
+  bool map_tracked = false;  ///< whether the engine maintained m_map
+};
+
+/// Aggregates + per-scenario table for one streaming sweep of the bank.
+struct StreamingSweepReport {
+  std::vector<StreamingScenarioResult> scenarios;
+  double tolerance = 0.0;           ///< the confident-forecast threshold used
+  double wall_seconds = 0.0;        ///< wall time of the whole sweep
+  double mean_confident_seconds = 0.0;
+  double max_confident_seconds = 0.0;
+  /// Mean of confident_tick / ticks_total: 1.0 means forecasts only settle
+  /// at the end of the window, small values mean actionable early warnings.
+  double mean_confident_fraction = 0.0;
+  double mean_push_seconds = 0.0;
+  double max_push_seconds = 0.0;
+
+  /// Paper-style text table: one row per scenario plus an aggregate footer.
+  [[nodiscard]] std::string table() const;
+};
+
 /// Ensemble aggregates + per-scenario table for one batched online pass.
 struct EnsembleReport {
   std::vector<ScenarioResult> scenarios;
@@ -121,11 +157,15 @@ class ScenarioBank {
   [[nodiscard]] RuptureConfig rupture_config(const ScenarioSpec& spec) const;
 
   /// Forward-model every scenario into noisy observations (PDE solves; the
-  /// expensive, offline part of the experiment). Serial over scenarios —
-  /// the wave stepper is already parallel inside. All events are noised at
-  /// one absolute floor (the median of the per-event 1% calibrations): a
-  /// real seafloor network has fixed instrument noise, and it keeps the
-  /// offline Hessian exactly calibrated for every event in the bank.
+  /// expensive, offline part of the experiment). Parallel over scenarios;
+  /// every stochastic draw (asperity layout, noise) comes from a dedicated
+  /// per-scenario seeded stream derived from `noise_seed` and the scenario
+  /// index, so the synthesized bank is bit-identical regardless of thread
+  /// count or scheduling (asserted in tests/test_scenario_bank.cpp). All
+  /// events are noised at one absolute floor (the median of the per-event
+  /// 1% calibrations): a real seafloor network has fixed instrument noise,
+  /// and it keeps the offline Hessian exactly calibrated for every event in
+  /// the bank.
   void synthesize(unsigned noise_seed = 7);
 
   /// The bank-wide noise floor used by `synthesize()`. The data-space
@@ -140,6 +180,17 @@ class ScenarioBank {
   /// every solve uses caller-local scratch); serial mode gives clean
   /// per-scenario latency measurements for benchmarking.
   [[nodiscard]] EnsembleReport run_online(bool parallel = true) const;
+
+  /// Streaming sweep: replay every scenario in the bank tick-by-tick through
+  /// `engine` (one lightweight assimilator per scenario, all sharing the
+  /// engine's immutable precompute), concurrently when `parallel`. Reports
+  /// per-scenario time-to-confident-forecast: the earliest tick after which
+  /// the rolling forecast mean stays within `tolerance` (relative L2) of the
+  /// final full-data forecast. Requires `synthesize()`; the engine must be
+  /// built over this bank's twin.
+  [[nodiscard]] StreamingSweepReport run_streaming(
+      const StreamingEngine& engine, bool parallel = true,
+      double tolerance = 0.05) const;
 
   [[nodiscard]] std::size_t size() const { return specs_.size(); }
   [[nodiscard]] const std::vector<ScenarioSpec>& specs() const { return specs_; }

@@ -1,0 +1,183 @@
+#include "core/streaming_assimilator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace tsunami {
+
+StreamingEngine::StreamingEngine(const Posterior& posterior,
+                                 const QoiPredictor& predictor,
+                                 const StreamingOptions& options,
+                                 TimerRegistry* timers)
+    : post_(posterior),
+      pred_(predictor),
+      opts_(options),
+      nd_(posterior.forward_map().block_rows()),
+      nt_(posterior.time_dim()),
+      n_(posterior.data_dim()),
+      np_(posterior.parameter_dim()),
+      nqoi_(predictor.qoi_dim()) {
+  if (predictor.data_dim() != n_)
+    throw std::invalid_argument(
+        "StreamingEngine: posterior/predictor data dim mismatch");
+
+  Stopwatch watch;
+  const DenseCholesky& chol = post_.hessian().cholesky();
+
+  // R = L^{-1} V: the forecast slab. Forward substitution keeps the rows
+  // causal, so row block t is exactly what tick t contributes. Computed
+  // without materializing V: from Q = V^T K^{-1} and K = L L^T it follows
+  // that R = L^{-1} (K Q^T) = L^T Q^T — a triangular product of operators
+  // the predictor already retains (no extra Phase 3 storage).
+  const Matrix qt = predictor.data_to_qoi().transposed();  // n x nqoi
+  const Matrix& l = chol.factor();
+  r_ = Matrix(n_, nqoi_);
+  parallel_for_min(n_, 8, [&](std::size_t i) {
+    // r_(i, :) = sum_{j >= i} L(j, i) Q^T(j, :), all rows contiguous.
+    auto out = r_.row(i);
+    for (std::size_t j = i; j < n_; ++j) {
+      const double lji = l(j, i);
+      if (lji == 0.0) continue;
+      const auto qrow = qt.row(j);
+      for (std::size_t c = 0; c < nqoi_; ++c) out[c] += lji * qrow[c];
+    }
+  });
+
+  // Credible-interval schedule: diag Gamma_post(q, t) = diag Gamma_post(q) +
+  // the *tail* sum of squares down the columns of R (the information the
+  // ticks still to come would add). Accumulating from the final tick makes
+  // the schedule exactly monotone and lands exactly on the batch posterior
+  // width. Data-independent — one table for every event this network will
+  // ever stream.
+  const Matrix& cov_q = predictor.qoi_covariance();
+  std_schedule_ = Matrix(nt_ + 1, nqoi_);
+  std::vector<double> tail(nqoi_, 0.0);
+  for (std::size_t i = 0; i < nqoi_; ++i)
+    std_schedule_(nt_, i) = std::sqrt(std::max(0.0, cov_q(i, i)));
+  for (std::size_t t = nt_; t-- > 0;) {
+    for (std::size_t j = t * nd_; j < (t + 1) * nd_; ++j) {
+      const auto row = r_.row(j);
+      for (std::size_t i = 0; i < nqoi_; ++i) tail[i] += row[i] * row[i];
+    }
+    for (std::size_t i = 0; i < nqoi_; ++i)
+      std_schedule_(t, i) =
+          std::sqrt(std::max(0.0, cov_q(i, i)) + tail[i]);
+  }
+
+  if (opts_.track_map) {
+    // W* = L^{-1} F Gamma_prior, materialized row-major so each tick's block
+    // rows are contiguous slabs. Built as (Gamma_prior F^T L^{-T})^T from
+    // backward solves on unit vectors — n of them, not Nm*Nt. Scoped so the
+    // n x n triangular inverse is freed before the slab transpose (the
+    // transient peak is the largest allocation in the program).
+    Matrix gstar_cols;  // (Nm Nt) x n
+    {
+      Matrix linv_t(n_, n_);  // columns: L^{-T} e_j
+      parallel_for_min(n_, 4, [&](std::size_t j) {
+        std::vector<double> col(n_, 0.0);
+        col[j] = 1.0;
+        chol.backward_solve_in_place(col);
+        for (std::size_t i = 0; i < n_; ++i) linv_t(i, j) = col[i];
+      });
+      post_.apply_gstar_many(linv_t, gstar_cols);
+    }
+    wstar_ = gstar_cols.transposed();
+  }
+
+  precompute_seconds_ = watch.seconds();
+  if (timers) timers->add("streaming: precompute", precompute_seconds_);
+}
+
+StreamingAssimilator StreamingEngine::start() const {
+  return StreamingAssimilator(*this);
+}
+
+std::span<const double> StreamingEngine::stddev_after(std::size_t ticks) const {
+  if (ticks > nt_)
+    throw std::out_of_range("StreamingEngine::stddev_after: tick out of range");
+  return std_schedule_.row(ticks);
+}
+
+StreamingAssimilator::StreamingAssimilator(const StreamingEngine& engine)
+    : eng_(engine),
+      z_(engine.data_dim(), 0.0),
+      q_mean_(engine.qoi_dim(), 0.0),
+      m_map_(engine.tracks_map() ? engine.parameter_dim() : 0, 0.0) {}
+
+void StreamingAssimilator::push(std::size_t tick,
+                                std::span<const double> d_block) {
+  if (complete())
+    throw std::logic_error("StreamingAssimilator::push: event window full");
+  if (tick != t_)
+    throw std::invalid_argument(
+        "StreamingAssimilator::push: out-of-order tick");
+  if (d_block.size() != eng_.block_size())
+    throw std::invalid_argument(
+        "StreamingAssimilator::push: block size mismatch");
+
+  Stopwatch watch;
+  const std::size_t p0 = t_ * eng_.block_size();
+  const std::size_t p1 = p0 + eng_.block_size();
+  std::copy(d_block.begin(), d_block.end(), z_.begin() + p0);
+  // Extend z = L^{-1} d by one block row (causality of forward substitution).
+  eng_.post_.hessian().cholesky().forward_solve_range(z_, p0, p1);
+  // Accumulate the new block's contribution to the truncated posterior.
+  for (std::size_t j = p0; j < p1; ++j) {
+    axpy(z_[j], eng_.r_.row(j), std::span<double>(q_mean_));
+    if (eng_.tracks_map())
+      axpy(z_[j], eng_.wstar_.row(j), std::span<double>(m_map_));
+  }
+  ++t_;
+  last_push_seconds_ = watch.seconds();
+  total_push_seconds_ += last_push_seconds_;
+}
+
+Forecast StreamingAssimilator::forecast() const {
+  Forecast fc;
+  fc.num_gauges = eng_.pred_.num_gauges();
+  fc.num_times = eng_.pred_.num_times();
+  fc.mean = q_mean_;
+  const auto sd = eng_.stddev_after(t_);
+  fc.stddev.assign(sd.begin(), sd.end());
+  fc.lower95.resize(q_mean_.size());
+  fc.upper95.resize(q_mean_.size());
+  for (std::size_t i = 0; i < q_mean_.size(); ++i) {
+    fc.lower95[i] = fc.mean[i] - 1.96 * fc.stddev[i];
+    fc.upper95[i] = fc.mean[i] + 1.96 * fc.stddev[i];
+  }
+  return fc;
+}
+
+const std::vector<double>& StreamingAssimilator::map_estimate() const {
+  if (!eng_.tracks_map())
+    throw std::logic_error(
+        "StreamingAssimilator::map_estimate: engine built with track_map off "
+        "(use map_snapshot)");
+  return m_map_;
+}
+
+std::vector<double> StreamingAssimilator::map_snapshot() const {
+  const std::size_t p = t_ * eng_.block_size();
+  // u = K_p^{-1} d_p: the forward half is already cached in z; finish with
+  // the prefix backward substitution, then lift through G* on the prefix.
+  std::vector<double> u(z_.begin(),
+                        z_.begin() + static_cast<std::ptrdiff_t>(p));
+  eng_.post_.hessian().cholesky().backward_solve_prefix(u, p);
+  std::vector<double> m(eng_.parameter_dim(), 0.0);
+  if (p > 0) eng_.post_.apply_gstar_prefix(u, t_, std::span<double>(m));
+  return m;
+}
+
+void StreamingAssimilator::reset() {
+  t_ = 0;
+  std::fill(z_.begin(), z_.end(), 0.0);
+  std::fill(q_mean_.begin(), q_mean_.end(), 0.0);
+  std::fill(m_map_.begin(), m_map_.end(), 0.0);
+  last_push_seconds_ = 0.0;
+  total_push_seconds_ = 0.0;
+}
+
+}  // namespace tsunami

@@ -7,6 +7,23 @@
 
 namespace tsunami {
 
+namespace {
+
+/// Shared multi-RHS driver: apply `solve_column` to each column of `b`
+/// (parallel over columns, contiguous per-column scratch).
+template <typename Solver>
+void solve_columns(Matrix& b, const Solver& solve_column) {
+  const std::size_t n = b.rows(), m = b.cols();
+  parallel_for_min(m, 4, [&](std::size_t c) {
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, c);
+    solve_column(std::span<double>(col));
+    for (std::size_t i = 0; i < n; ++i) b(i, c) = col[i];
+  });
+}
+
+}  // namespace
+
 DenseCholesky::DenseCholesky(const Matrix& a, std::size_t block) : l_(a) {
   if (a.rows() != a.cols())
     throw std::invalid_argument("DenseCholesky: matrix not square");
@@ -60,12 +77,13 @@ DenseCholesky::DenseCholesky(const Matrix& a, std::size_t block) : l_(a) {
     for (std::size_t j = i + 1; j < n; ++j) lp[i * n + j] = 0.0;
 }
 
-void DenseCholesky::forward_solve_in_place(std::span<double> b) const {
+void DenseCholesky::forward_solve_range(std::span<double> b, std::size_t begin,
+                                        std::size_t end) const {
   const std::size_t n = l_.rows();
-  if (b.size() != n)
-    throw std::invalid_argument("DenseCholesky: rhs size mismatch");
+  if (begin > end || end > n || b.size() < end)
+    throw std::invalid_argument("DenseCholesky: bad forward-solve range");
   const double* lp = l_.data();
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     double s = b[i];
     const double* row = lp + i * n;
     for (std::size_t j = 0; j < i; ++j) s -= row[j] * b[j];
@@ -73,28 +91,49 @@ void DenseCholesky::forward_solve_in_place(std::span<double> b) const {
   }
 }
 
-void DenseCholesky::solve_in_place(std::span<double> b) const {
+void DenseCholesky::forward_solve_in_place(std::span<double> b) const {
   const std::size_t n = l_.rows();
-  forward_solve_in_place(b);
+  if (b.size() != n)
+    throw std::invalid_argument("DenseCholesky: rhs size mismatch");
+  forward_solve_range(b, 0, n);
+}
+
+void DenseCholesky::forward_solve_in_place(Matrix& b) const {
+  if (b.rows() != l_.rows())
+    throw std::invalid_argument("DenseCholesky: rhs rows mismatch");
+  solve_columns(b,
+                [this](std::span<double> col) { forward_solve_in_place(col); });
+}
+
+void DenseCholesky::backward_solve_prefix(std::span<double> b,
+                                          std::size_t prefix) const {
+  const std::size_t n = l_.rows();
+  if (prefix > n || b.size() < prefix)
+    throw std::invalid_argument("DenseCholesky: bad backward-solve prefix");
   const double* lp = l_.data();
-  for (std::size_t ii = n; ii-- > 0;) {
+  for (std::size_t ii = prefix; ii-- > 0;) {
     double s = b[ii];
-    for (std::size_t j = ii + 1; j < n; ++j) s -= lp[j * n + ii] * b[j];
+    for (std::size_t j = ii + 1; j < prefix; ++j) s -= lp[j * n + ii] * b[j];
     b[ii] = s / lp[ii * n + ii];
   }
+}
+
+void DenseCholesky::backward_solve_in_place(std::span<double> b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("DenseCholesky: rhs size mismatch");
+  backward_solve_prefix(b, n);
+}
+
+void DenseCholesky::solve_in_place(std::span<double> b) const {
+  forward_solve_in_place(b);
+  backward_solve_in_place(b);
 }
 
 void DenseCholesky::solve_in_place(Matrix& b) const {
   if (b.rows() != l_.rows())
     throw std::invalid_argument("DenseCholesky: rhs rows mismatch");
-  const std::size_t n = b.rows(), m = b.cols();
-  // Solve column-wise; parallel over columns.
-  parallel_for_min(m, 4, [&](std::size_t c) {
-    std::vector<double> col(n);
-    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, c);
-    solve_in_place(std::span<double>(col));
-    for (std::size_t i = 0; i < n; ++i) b(i, c) = col[i];
-  });
+  solve_columns(b, [this](std::span<double> col) { solve_in_place(col); });
 }
 
 double DenseCholesky::log_det() const {

@@ -5,6 +5,14 @@
 // This is the CPU stand-in for the paper's cuSOLVERMp Cholesky of the
 // data-space Hessian K = Gamma_noise + F G* (Table III: "factorize K").
 // Blocked right-looking algorithm with OpenMP-parallel trailing updates.
+//
+// Prefix solves: because Cholesky commutes with taking leading principal
+// submatrices (the factor of A[0:p, 0:p] is exactly L[0:p, 0:p]), the same
+// factor serves every truncated system A_p x = b_p. Forward substitution is
+// additionally *causal* — entry i of L^{-1} b depends only on b[0:i+1] — so
+// it can be resumed row-by-row as new right-hand-side entries arrive. The
+// range/prefix entry points below expose both facts; they are the kernel of
+// the streaming assimilation engine (src/core/streaming_assimilator.hpp).
 
 #include <span>
 
@@ -27,6 +35,29 @@ class DenseCholesky {
 
   /// Solve L y = b (forward substitution only).
   void forward_solve_in_place(std::span<double> b) const;
+
+  /// Forward substitution for multiple right-hand sides (columns of B).
+  void forward_solve_in_place(Matrix& b) const;
+
+  /// Resume forward substitution over rows [begin, end). On entry, b[0:begin)
+  /// must already hold solution entries of L y = b (from earlier calls) and
+  /// b[begin:end) the newly arrived right-hand-side entries; on exit,
+  /// b[begin:end) holds solution entries. b[end:] is never read or written,
+  /// so a full-length buffer can be filled incrementally. Cost O((end-begin)
+  /// * end) — extending a solve by one block touches only the new rows.
+  void forward_solve_range(std::span<double> b, std::size_t begin,
+                           std::size_t end) const;
+
+  /// Backward substitution L^T x = b (completes a solve of A x = rhs after
+  /// forward_solve_*).
+  void backward_solve_in_place(std::span<double> b) const;
+
+  /// Backward substitution restricted to the leading principal subsystem:
+  /// solves L[0:p, 0:p]^T x = b[0:p) in place. Because the leading block of L
+  /// is the Cholesky factor of the leading block of A, composing
+  /// forward_solve_range(b, 0, p) with backward_solve_prefix(b, p) solves
+  /// A[0:p, 0:p] x = b[0:p) exactly — no refactorization.
+  void backward_solve_prefix(std::span<double> b, std::size_t prefix) const;
 
   /// log det(A) = 2 sum log L_ii.
   [[nodiscard]] double log_det() const;

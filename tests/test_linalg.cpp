@@ -159,6 +159,101 @@ TEST(DenseCholesky, MultiRhsSolve) {
   EXPECT_LT(b.max_abs_diff(x_true), 1e-8);
 }
 
+TEST(DenseCholesky, ForwardSolveRangeResumesExactly) {
+  // Forward substitution is causal: solving in arbitrary chunks as RHS
+  // entries "arrive" must reproduce the one-shot solve bitwise — the
+  // property the streaming assimilator's per-tick extension rests on.
+  Rng rng(23);
+  const std::size_t n = 60;
+  const Matrix a = random_spd(n, rng);
+  const DenseCholesky chol(a);
+  const auto rhs = rng.normal_vector(n);
+
+  std::vector<double> full(rhs);
+  chol.forward_solve_in_place(std::span<double>(full));
+
+  std::vector<double> chunked(n, 0.0);
+  const std::size_t cuts[] = {0, 7, 8, 31, 60};
+  for (std::size_t c = 0; c + 1 < 5; ++c) {
+    for (std::size_t i = cuts[c]; i < cuts[c + 1]; ++i) chunked[i] = rhs[i];
+    chol.forward_solve_range(std::span<double>(chunked), cuts[c], cuts[c + 1]);
+  }
+  EXPECT_EQ(chunked, full);
+}
+
+TEST(DenseCholesky, PrefixSolvesMatchLeadingSubsystemFactorization) {
+  // Cholesky commutes with leading principal submatrices, so prefix forward
+  // + backward substitution on the FULL factor must equal a from-scratch
+  // factorization of the truncated matrix.
+  Rng rng(24);
+  const std::size_t n = 48;
+  const Matrix a = random_spd(n, rng);
+  const DenseCholesky chol(a);
+  const auto rhs = rng.normal_vector(n);
+  for (const std::size_t p : {std::size_t{1}, std::size_t{17}, n}) {
+    Matrix ap(p, p);
+    for (std::size_t i = 0; i < p; ++i)
+      for (std::size_t j = 0; j < p; ++j) ap(i, j) = a(i, j);
+    std::vector<double> x_ref(rhs.begin(),
+                              rhs.begin() + static_cast<std::ptrdiff_t>(p));
+    DenseCholesky(ap).solve_in_place(std::span<double>(x_ref));
+
+    std::vector<double> x(rhs.begin(), rhs.begin() + static_cast<std::ptrdiff_t>(p));
+    chol.forward_solve_range(std::span<double>(x), 0, p);
+    chol.backward_solve_prefix(std::span<double>(x), p);
+    for (std::size_t i = 0; i < p; ++i)
+      EXPECT_NEAR(x[i], x_ref[i], 1e-10 * (std::abs(x_ref[i]) + 1.0))
+          << "prefix " << p;
+  }
+}
+
+TEST(DenseCholesky, ForwardBackwardComposeToFullSolve) {
+  Rng rng(25);
+  const std::size_t n = 33;
+  const Matrix a = random_spd(n, rng);
+  const DenseCholesky chol(a);
+  const auto rhs = rng.normal_vector(n);
+  std::vector<double> x1(rhs), x2(rhs);
+  chol.solve_in_place(std::span<double>(x1));
+  chol.forward_solve_in_place(std::span<double>(x2));
+  chol.backward_solve_in_place(std::span<double>(x2));
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(DenseCholesky, MultiRhsForwardSolveMatchesColumnwise) {
+  Rng rng(26);
+  const std::size_t n = 30, k = 5;
+  const Matrix a = random_spd(n, rng);
+  const DenseCholesky chol(a);
+  Matrix b(n, k);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) b(i, j) = rng.normal();
+  Matrix fwd(b);
+  chol.forward_solve_in_place(fwd);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+    chol.forward_solve_in_place(std::span<double>(col));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(fwd(i, j), col[i]);
+  }
+}
+
+TEST(DenseCholesky, PrefixRangeValidation) {
+  Rng rng(27);
+  const Matrix a = random_spd(8, rng);
+  const DenseCholesky chol(a);
+  std::vector<double> b(8, 1.0);
+  EXPECT_THROW(chol.forward_solve_range(std::span<double>(b), 5, 3),
+               std::invalid_argument);
+  EXPECT_THROW(chol.forward_solve_range(std::span<double>(b), 0, 9),
+               std::invalid_argument);
+  EXPECT_THROW(chol.backward_solve_prefix(std::span<double>(b), 9),
+               std::invalid_argument);
+  std::vector<double> short_b(4, 1.0);
+  EXPECT_THROW(chol.forward_solve_range(std::span<double>(short_b), 0, 8),
+               std::invalid_argument);
+}
+
 TEST(DenseCholesky, LogDetMatchesKnownMatrix) {
   // diag(2, 3, 4): log det = log 24.
   Matrix a(3, 3);

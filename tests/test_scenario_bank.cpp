@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
 #include <cmath>
 #include <set>
 
@@ -100,6 +102,30 @@ TEST_F(ScenarioBankTest, SharedNoiseFloorAppliesToEveryEvent) {
   }
 }
 
+TEST_F(ScenarioBankTest, SynthesisIsBitReproducibleAcrossThreadCounts) {
+  // synthesize() draws every stochastic quantity from a per-scenario stream
+  // seeded by (noise_seed, index) alone, and the forward model only ever
+  // writes disjoint state — so the bank must be BIT-identical no matter how
+  // the parallel sweep is scheduled. Re-synthesize under a different thread
+  // count and demand exact equality with the fixture's events.
+  ScenarioBank serial_bank(*twin_, bank_->specs());
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  serial_bank.synthesize(7);
+  omp_set_num_threads(saved);
+
+  ASSERT_EQ(serial_bank.events().size(), bank_->events().size());
+  for (std::size_t i = 0; i < bank_->events().size(); ++i) {
+    const SyntheticEvent& a = bank_->events()[i];
+    const SyntheticEvent& b = serial_bank.events()[i];
+    EXPECT_EQ(a.m_true, b.m_true) << "scenario " << i;
+    EXPECT_EQ(a.d_true, b.d_true) << "scenario " << i;
+    EXPECT_EQ(a.d_obs, b.d_obs) << "scenario " << i;
+    EXPECT_EQ(a.q_true, b.q_true) << "scenario " << i;
+    EXPECT_EQ(a.noise.sigma, b.noise.sigma) << "scenario " << i;
+  }
+}
+
 TEST_F(ScenarioBankTest, BatchedOnlineSweepRecoversEveryScenario) {
   const EnsembleReport report = bank_->run_online();
   ASSERT_EQ(report.scenarios.size(), kBankSize);
@@ -137,6 +163,53 @@ TEST_F(ScenarioBankTest, ParallelMatchesSerial) {
   }
 }
 
+TEST_F(ScenarioBankTest, StreamingSweepConvergesToBatchForecasts) {
+  const StreamingEngine engine = twin_->make_streaming({.track_map = true});
+  const StreamingSweepReport sweep = bank_->run_streaming(engine);
+  const EnsembleReport batch = bank_->run_online();
+  ASSERT_EQ(sweep.scenarios.size(), bank_->size());
+
+  const std::size_t nt = engine.num_ticks();
+  for (std::size_t i = 0; i < sweep.scenarios.size(); ++i) {
+    const StreamingScenarioResult& r = sweep.scenarios[i];
+    EXPECT_EQ(r.ticks_total, nt);
+    EXPECT_GE(r.confident_tick, 1u);
+    EXPECT_LE(r.confident_tick, nt);
+    EXPECT_GT(r.confident_seconds, 0.0);
+    EXPECT_GT(r.mean_push_seconds, 0.0);
+    EXPECT_GE(r.max_push_seconds, r.mean_push_seconds);
+    // After the final tick the streaming forecast IS the batch forecast, so
+    // the sweep's accuracy metrics must match run_online's.
+    EXPECT_NEAR(r.final_forecast_error, batch.scenarios[i].forecast_error,
+                1e-9);
+    EXPECT_NEAR(r.final_forecast_correlation,
+                batch.scenarios[i].forecast_correlation, 1e-9);
+    EXPECT_NEAR(r.displacement_correlation,
+                batch.scenarios[i].displacement_correlation, 1e-9);
+  }
+  EXPECT_GT(sweep.wall_seconds, 0.0);
+  EXPECT_GT(sweep.mean_confident_fraction, 0.0);
+  EXPECT_LE(sweep.mean_confident_fraction, 1.0);
+  EXPECT_LE(sweep.mean_confident_seconds, sweep.max_confident_seconds + 1e-15);
+  EXPECT_FALSE(sweep.table().empty());
+}
+
+TEST_F(ScenarioBankTest, StreamingSweepParallelMatchesSerial) {
+  const StreamingEngine engine = twin_->make_streaming({.track_map = false});
+  const StreamingSweepReport par =
+      bank_->run_streaming(engine, /*parallel=*/true);
+  const StreamingSweepReport ser =
+      bank_->run_streaming(engine, /*parallel=*/false);
+  ASSERT_EQ(par.scenarios.size(), ser.scenarios.size());
+  for (std::size_t i = 0; i < par.scenarios.size(); ++i) {
+    // Assimilators share the engine's immutable precompute and use fixed
+    // accumulation order: identical results, only timings differ.
+    EXPECT_EQ(par.scenarios[i].confident_tick, ser.scenarios[i].confident_tick);
+    EXPECT_DOUBLE_EQ(par.scenarios[i].final_forecast_error,
+                     ser.scenarios[i].final_forecast_error);
+  }
+}
+
 TEST(ScenarioBankErrors, MisuseThrows) {
   DigitalTwin twin(TwinConfig::tiny());
   EXPECT_THROW(ScenarioBank(twin, {}), std::invalid_argument);
@@ -148,6 +221,14 @@ TEST(ScenarioBankErrors, MisuseThrows) {
   // parallel region), not terminate.
   bank.synthesize(7);
   EXPECT_THROW((void)bank.run_online(), std::logic_error);
+}
+
+TEST_F(ScenarioBankTest, StreamingSweepMisuseThrows) {
+  const StreamingEngine engine = twin_->make_streaming({.track_map = false});
+  EXPECT_THROW((void)bank_->run_streaming(engine, true, 0.0),
+               std::invalid_argument);
+  ScenarioBank fresh(*twin_, bank_->specs());
+  EXPECT_THROW((void)fresh.run_streaming(engine), std::logic_error);
 }
 
 }  // namespace
