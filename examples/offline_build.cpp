@@ -1,0 +1,95 @@
+// The HPC side of the paper's deployment split (SecVIII): run Phases 1-3
+// once, then ship their products as ONE versioned artifact bundle. The
+// warning center boots from that bundle alone — see the paired
+// examples/warning_center.cpp, which must be run after this one:
+//
+//   $ ./examples/offline_build [dir]     # default dir: twin_artifacts
+//   $ ./examples/warning_center [dir]
+//
+// Besides the bundle, this driver writes a telemetry replay (the synthetic
+// event's noisy observations and true wave heights) so the warning-center
+// example has a realistic feed to assimilate. In a deployment those bytes
+// come off the seafloor cable in real time; everything else the warning
+// center needs is in the bundle.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/digital_twin.hpp"
+#include "util/io.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tsunami;
+
+  const std::string dir = argc > 1 ? argv[1] : "twin_artifacts";
+  std::filesystem::create_directories(dir);
+
+  // The same event/window as examples/realtime_monitor.cpp, so the two
+  // sides of the split stay comparable with the single-process demo. The
+  // Phase 1 outer loop runs its adjoint solves in parallel: producing a
+  // bundle should itself be fast (results are bit-identical to serial).
+  TwinConfig config = TwinConfig::tiny();
+  config.num_intervals = 24;
+  config.observation_dt = 4.0;
+  config.phase1_parallel = true;
+
+  std::printf("=== Offline build (HPC side of the deployment split) ===\n");
+  Stopwatch boot;
+  DigitalTwin twin(config);
+
+  RuptureConfig rupture_cfg;
+  Asperity asperity;
+  asperity.x0 = 0.3 * config.bathymetry.length_x;
+  asperity.y0 = 0.5 * config.bathymetry.length_y;
+  asperity.rx = 16e3;
+  asperity.ry = 24e3;
+  asperity.peak_uplift = 2.2;
+  rupture_cfg.asperities.push_back(asperity);
+  rupture_cfg.hypocenter_x = asperity.x0;
+  rupture_cfg.hypocenter_y = asperity.y0;
+  Rng rng(3);
+  const SyntheticEvent event = twin.synthesize(RuptureScenario(rupture_cfg), rng);
+
+  twin.run_offline(event.noise);
+  const double offline_seconds = boot.seconds();
+
+  // One file carries the whole online phase (bundle built once; at paper
+  // scale its payload is the dominant memory object).
+  const std::string bundle_path = dir + "/cascadia.bundle";
+  Stopwatch save_watch;
+  const ArtifactBundle bundle = twin.make_bundle();
+  save_bundle(bundle_path, bundle);
+  const double save_seconds = save_watch.seconds();
+
+  // Telemetry replay for the warning-center example (NOT part of the
+  // bundle: in a deployment this is the live sensor feed).
+  save_vector(dir + "/telemetry_d_obs.bin", event.d_obs);
+  save_vector(dir + "/telemetry_q_true.bin", event.q_true);
+  TextTable table({"section", "shape", "MB"});
+  for (const auto& s : bundle.sections()) {
+    std::string shape;
+    for (std::size_t i = 0; i < s.dims.size(); ++i)
+      shape += (i ? "x" : "") + std::to_string(s.dims[i]);
+    table.row().cell(s.name).cell(shape).cell(
+        static_cast<double>(s.data.size() * sizeof(double)) / 1e6, 3);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf(
+      "offline phases (incl. %zu+%zu adjoint solves, K factorization): %s\n",
+      config.num_sensors, config.num_gauges,
+      format_duration(offline_seconds).c_str());
+  std::printf("bundle written to %s: %.3f MB in %s (fingerprint %016llx)\n",
+              bundle_path.c_str(),
+              static_cast<double>(
+                  std::filesystem::file_size(bundle_path)) / 1e6,
+              format_duration(save_seconds).c_str(),
+              static_cast<unsigned long long>(bundle.fingerprint));
+  std::printf(
+      "ship the %s directory to the warning center, then run "
+      "./examples/warning_center %s\n",
+      dir.c_str(), dir.c_str());
+  return 0;
+}

@@ -94,6 +94,25 @@ DataSpaceHessian::DataSpaceHessian(const BlockToeplitz& f,
   if (timers) timers->add("factorize K", chol_watch.seconds());
 }
 
+DataSpaceHessian DataSpaceHessian::from_factor(Matrix l_factor,
+                                               const NoiseModel& noise) {
+  DataSpaceHessian h;
+  h.noise_ = noise;
+  h.chol_ =
+      std::make_unique<DenseCholesky>(DenseCholesky::from_factor(
+          std::move(l_factor)));
+  return h;
+}
+
+const Matrix& DataSpaceHessian::matrix() const {
+  if (k_.rows() != dim())
+    throw std::logic_error(
+        "DataSpaceHessian::matrix: K not retained on a warm-started "
+        "(from_factor) instance — only the Cholesky factor ships in the "
+        "artifact bundle");
+  return k_;
+}
+
 void DataSpaceHessian::solve(std::span<const double> x,
                              std::span<double> y) const {
   if (x.size() != dim() || y.size() != dim())

@@ -44,8 +44,17 @@ class DataSpaceHessian {
                    const NoiseModel& noise, std::size_t batch = 64,
                    TimerRegistry* timers = nullptr);
 
-  [[nodiscard]] std::size_t dim() const { return k_.rows(); }
-  [[nodiscard]] const Matrix& matrix() const { return k_; }
+  /// Rebuild from a previously computed Cholesky factor (the warm-start
+  /// path: the artifact bundle ships L, not K). Solves are bit-identical to
+  /// the cold-built object's; the formed K itself is not retained (it is
+  /// redundant given L), so matrix() throws and asymmetry() reports 0.
+  [[nodiscard]] static DataSpaceHessian from_factor(Matrix l_factor,
+                                                    const NoiseModel& noise);
+
+  [[nodiscard]] std::size_t dim() const { return chol_->dim(); }
+  /// The formed K. Only retained on the cold (form + factorize) path;
+  /// throws std::logic_error on a warm-started (from_factor) instance.
+  [[nodiscard]] const Matrix& matrix() const;
   [[nodiscard]] const DenseCholesky& cholesky() const { return *chol_; }
   [[nodiscard]] const NoiseModel& noise() const { return noise_; }
 
@@ -57,7 +66,9 @@ class DataSpaceHessian {
   [[nodiscard]] double asymmetry() const { return asymmetry_; }
 
  private:
-  Matrix k_;
+  DataSpaceHessian() = default;  ///< for from_factor
+
+  Matrix k_;  ///< empty on the from_factor path
   std::unique_ptr<DenseCholesky> chol_;
   NoiseModel noise_;
   double asymmetry_ = 0.0;

@@ -4,8 +4,122 @@
 #include <stdexcept>
 
 #include "linalg/blas.hpp"
+#include "util/io.hpp"
 
 namespace tsunami {
+
+namespace {
+
+// ---- TwinConfig <-> bundle packing -----------------------------------------
+// Every result-determining config field, flattened to doubles in a fixed
+// documented order. The fingerprint hashes exactly these bytes, so two
+// configs fingerprint equal iff their offline artifacts are interchangeable.
+// Build-strategy knobs (phase1_parallel) are deliberately NOT packed: they
+// change how artifacts are computed, never what they contain.
+constexpr std::size_t kNumConfigFields = 25;
+
+std::vector<double> pack_config(const TwinConfig& c) {
+  return {
+      c.bathymetry.length_x,       c.bathymetry.length_y,
+      c.bathymetry.depth_abyssal,  c.bathymetry.depth_shelf,
+      c.bathymetry.slope_center,   c.bathymetry.slope_width,
+      c.bathymetry.undulation_amp, c.bathymetry.undulation_waves,
+      c.bathymetry.min_depth,
+      static_cast<double>(c.mesh_nx),
+      static_cast<double>(c.mesh_ny),
+      static_cast<double>(c.mesh_nz),
+      static_cast<double>(c.order),
+      c.physics.rho,               c.physics.sound_speed,
+      c.physics.gravity,
+      static_cast<double>(static_cast<int>(c.kernel)),
+      c.cfl,
+      static_cast<double>(c.num_sensors),
+      static_cast<double>(c.num_gauges),
+      static_cast<double>(c.num_intervals),
+      c.observation_dt,
+      c.prior.sigma,               c.prior.correlation_length,
+      c.noise_level,
+  };
+}
+
+std::size_t unpack_size(double v, const char* what, std::size_t lo,
+                        std::size_t hi) {
+  // Bundle fields are untrusted input: a crafted config with a
+  // self-consistent fingerprint must not be able to drive the constructor
+  // into wrapped or exabyte-scale allocations. The caps are far above paper
+  // scale but far below overflow territory.
+  if (!(v >= 0.0) || v != std::floor(v) ||
+      v < static_cast<double>(lo) || v > static_cast<double>(hi))
+    throw std::runtime_error(std::string("artifact bundle config: bad ") +
+                             what);
+  return static_cast<std::size_t>(v);
+}
+
+TwinConfig unpack_config(const std::vector<double>& p) {
+  if (p.size() != kNumConfigFields)
+    throw std::runtime_error(
+        "artifact bundle config: unexpected field count");
+  TwinConfig c;
+  c.bathymetry.length_x = p[0];
+  c.bathymetry.length_y = p[1];
+  c.bathymetry.depth_abyssal = p[2];
+  c.bathymetry.depth_shelf = p[3];
+  c.bathymetry.slope_center = p[4];
+  c.bathymetry.slope_width = p[5];
+  c.bathymetry.undulation_amp = p[6];
+  c.bathymetry.undulation_waves = p[7];
+  c.bathymetry.min_depth = p[8];
+  c.mesh_nx = unpack_size(p[9], "mesh_nx", 1, 1u << 16);
+  c.mesh_ny = unpack_size(p[10], "mesh_ny", 1, 1u << 16);
+  c.mesh_nz = unpack_size(p[11], "mesh_nz", 1, 1u << 16);
+  if (checked_mul_u64(checked_mul_u64(c.mesh_nx, c.mesh_ny,
+                                      "artifact bundle config: mesh"),
+                      c.mesh_nz, "artifact bundle config: mesh") > (1u << 28))
+    throw std::runtime_error("artifact bundle config: mesh too large");
+  c.order = unpack_size(p[12], "order", 1, 32);
+  c.physics.rho = p[13];
+  c.physics.sound_speed = p[14];
+  c.physics.gravity = p[15];
+  const std::size_t kernel =
+      unpack_size(p[16], "kernel variant", 0, all_kernel_variants().size() - 1);
+  c.kernel = static_cast<KernelVariant>(kernel);
+  c.cfl = p[17];
+  c.num_sensors = unpack_size(p[18], "num_sensors", 1, 1u << 20);
+  c.num_gauges = unpack_size(p[19], "num_gauges", 1, 1u << 20);
+  c.num_intervals = unpack_size(p[20], "num_intervals", 1, 1u << 24);
+  c.observation_dt = p[21];
+  c.prior.sigma = p[22];
+  c.prior.correlation_length = p[23];
+  c.noise_level = p[24];
+  return c;
+}
+
+/// Rebuild a P2oMap (blocks + FFT Toeplitz engine) from a bundle section.
+P2oMap p2o_from_section(const BundleSection& s) {
+  P2oMap m;
+  m.nrows = static_cast<std::size_t>(s.dims[0]);
+  m.ncols = static_cast<std::size_t>(s.dims[1]);
+  m.nt = static_cast<std::size_t>(s.dims[2]);
+  m.blocks = s.data;
+  m.toeplitz = std::make_unique<BlockToeplitz>(
+      m.nrows, m.ncols, m.nt, std::span<const double>(m.blocks));
+  return m;
+}
+
+void expect_p2o_dims(const BundleSection& s, std::size_t nrows,
+                     std::size_t ncols, std::size_t nt) {
+  if (s.dims.size() != 3 || s.dims[0] != nrows || s.dims[1] != ncols ||
+      s.dims[2] != nt)
+    throw std::runtime_error("artifact bundle: section '" + s.name +
+                             "' dimensions do not match this configuration");
+}
+
+}  // namespace
+
+std::uint64_t TwinConfig::fingerprint() const {
+  const std::vector<double> packed = pack_config(*this);
+  return fnv1a(packed.data(), packed.size() * sizeof(double));
+}
 
 TwinConfig TwinConfig::tiny() {
   TwinConfig c;
@@ -61,15 +175,120 @@ DigitalTwin::DigitalTwin(const TwinConfig& config)
                                          cfg_.prior);
 }
 
+DigitalTwin::DigitalTwin(const ArtifactBundle& bundle)
+    : DigitalTwin(config_from_bundle(bundle)) {
+  install_offline(bundle);
+}
+
+TwinConfig DigitalTwin::config_from_bundle(const ArtifactBundle& bundle) {
+  const TwinConfig cfg = unpack_config(bundle.vector("config"));
+  // The stored fingerprint must reproduce from the stored config: a
+  // mismatch means the bundle's identity and its contents disagree
+  // (tampering, a partial rewrite, or a producer/consumer field-order skew).
+  if (cfg.fingerprint() != bundle.fingerprint)
+    throw std::runtime_error(
+        "artifact bundle: config fingerprint mismatch (bundle identity "
+        "disagrees with its stored configuration)");
+  return cfg;
+}
+
+void DigitalTwin::install_offline(const ArtifactBundle& bundle) {
+  ScopedTimer t(timers_, "warm start: install bundle");
+  const std::size_t nm = model_->source_map().parameter_dim();
+  const std::size_t nt = time_.num_intervals;
+  const std::size_t n = data_dim();
+
+  const BundleSection& f_sec = bundle.at("p2o/F");
+  expect_p2o_dims(f_sec, sensors_->num_outputs(), nm, nt);
+  const BundleSection& fq_sec = bundle.at("p2o/Fq");
+  expect_p2o_dims(fq_sec, gauges_->num_outputs(), nm, nt);
+
+  const std::vector<double> sigma = bundle.vector("noise/sigma");
+  if (sigma.size() != 1 || !(sigma[0] > 0.0))
+    throw std::runtime_error("artifact bundle: bad noise/sigma section");
+
+  Matrix l = bundle.matrix("hessian/chol_L");
+  if (l.rows() != n || l.cols() != n)
+    throw std::runtime_error(
+        "artifact bundle: Cholesky factor dimensions do not match this "
+        "configuration");
+  Matrix q = bundle.matrix("qoi/Q");
+  const std::size_t nqoi = cfg_.num_gauges * nt;
+  if (q.rows() != nqoi || q.cols() != n)
+    throw std::runtime_error(
+        "artifact bundle: Q dimensions do not match this configuration");
+  Matrix cov = bundle.matrix("qoi/cov");
+  if (cov.rows() != nqoi || cov.cols() != nqoi)
+    throw std::runtime_error(
+        "artifact bundle: Gamma_post(q) dimensions do not match this "
+        "configuration");
+
+  // All sections validated; rebuild the online operators. No PDE solves, no
+  // Hessian formation, no factorization — the whole point of the split.
+  f_ = p2o_from_section(f_sec);
+  fq_ = p2o_from_section(fq_sec);
+  hessian_ = std::make_unique<DataSpaceHessian>(
+      DataSpaceHessian::from_factor(std::move(l), NoiseModel{sigma[0]}));
+  posterior_ = std::make_unique<Posterior>(*f_.toeplitz, *prior_, *hessian_);
+  predictor_ = std::make_unique<QoiPredictor>(*fq_.toeplitz, std::move(q),
+                                              std::move(cov));
+  refresh_offline_epoch();
+}
+
+ArtifactBundle DigitalTwin::make_bundle() const {
+  if (!online_ready())
+    throw std::logic_error("make_bundle: offline phases not complete");
+  ArtifactBundle b;
+  b.fingerprint = cfg_.fingerprint();
+  b.set("config", {kNumConfigFields}, pack_config(cfg_));
+  b.set_vector("noise/sigma",
+               std::span<const double>(&hessian_->noise().sigma, 1));
+  b.set("p2o/F", {f_.nrows, f_.ncols, f_.nt}, f_.blocks);
+  b.set("p2o/Fq", {fq_.nrows, fq_.ncols, fq_.nt}, fq_.blocks);
+  b.set_matrix("hessian/chol_L", hessian_->cholesky().factor());
+  b.set_matrix("qoi/Q", predictor_->data_to_qoi());
+  b.set_matrix("qoi/cov", predictor_->qoi_covariance());
+  return b;
+}
+
+void DigitalTwin::save_offline(const std::string& path) const {
+  save_bundle(path, make_bundle());
+}
+
+DigitalTwin DigitalTwin::load_offline(const std::string& path) {
+  return DigitalTwin(load_bundle(path));
+}
+
+DigitalTwin DigitalTwin::load_offline(const std::string& path,
+                                      const TwinConfig& expected) {
+  const ArtifactBundle bundle = load_bundle(path);
+  if (bundle.fingerprint != expected.fingerprint())
+    throw std::runtime_error(
+        "load_offline: bundle was produced by a different twin "
+        "configuration: " +
+        path);
+  return DigitalTwin(bundle);
+}
+
+void DigitalTwin::refresh_offline_epoch() {
+  const std::uint64_t next = offline_epoch_ ? *offline_epoch_ + 1 : 1;
+  offline_epoch_ = std::make_shared<const std::uint64_t>(next);
+}
+
 void DigitalTwin::run_phase1() {
   {
     ScopedTimer t(timers_, "phase1: form F");
-    f_ = build_p2o_map(*model_, *sensors_, time_, &timers_);
+    f_ = build_p2o_map(*model_, *sensors_, time_, &timers_,
+                       {.parallel_rows = cfg_.phase1_parallel});
   }
   {
     ScopedTimer t(timers_, "phase1: form Fq");
-    fq_ = build_p2o_map(*model_, *gauges_, time_, &timers_);
+    fq_ = build_p2o_map(*model_, *gauges_, time_, &timers_,
+                        {.parallel_rows = cfg_.phase1_parallel});
   }
+  // The posterior/predictor (if any) now reference a stale F; streaming
+  // engines built over them must not keep slicing it.
+  refresh_offline_epoch();
 }
 
 void DigitalTwin::run_phase2(const NoiseModel& noise) {
@@ -78,6 +297,7 @@ void DigitalTwin::run_phase2(const NoiseModel& noise) {
   hessian_ = std::make_unique<DataSpaceHessian>(*f_.toeplitz, *prior_, noise,
                                                 64, &timers_);
   posterior_ = std::make_unique<Posterior>(*f_.toeplitz, *prior_, *hessian_);
+  refresh_offline_epoch();
 }
 
 void DigitalTwin::run_phase3() {
@@ -85,6 +305,7 @@ void DigitalTwin::run_phase3() {
   ScopedTimer t(timers_, "phase3: QoI covariance + Q");
   predictor_ = std::make_unique<QoiPredictor>(*f_.toeplitz, *fq_.toeplitz,
                                               *prior_, *hessian_, &timers_);
+  refresh_offline_epoch();
 }
 
 SyntheticEvent DigitalTwin::synthesize(const RuptureScenario& scenario,
@@ -134,7 +355,8 @@ StreamingEngine DigitalTwin::make_streaming(const StreamingOptions& options,
                                             TimerRegistry* timers) const {
   if (!online_ready())
     throw std::logic_error("make_streaming: offline phases not complete");
-  return StreamingEngine(*posterior_, *predictor_, options, timers);
+  return StreamingEngine(*posterior_, *predictor_, options, timers,
+                         offline_epoch_);
 }
 
 std::vector<double> DigitalTwin::displacement_field(

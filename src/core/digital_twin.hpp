@@ -13,9 +13,11 @@
 // QoI series (the paper's Fig. 3/4 setup with 1% relative noise).
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/baseline_cg.hpp"
@@ -28,6 +30,7 @@
 #include "mesh/hex_mesh.hpp"
 #include "prior/matern_prior.hpp"
 #include "rupture/scenario.hpp"
+#include "util/artifact_bundle.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 #include "wave/acoustic_gravity.hpp"
@@ -73,10 +76,25 @@ struct TwinConfig {
   MaternPriorConfig prior{};
   double noise_level = 0.01;      ///< relative noise (paper: 1%)
 
+  // Build strategy (does not change results, excluded from fingerprint()).
+  /// Opt-in: run the Phase 1 outer adjoint loop (one solve per sensor/gauge)
+  /// in parallel. The assembled maps are bit-identical to the serial build;
+  /// serial stays the default so the per-solve Table III timer samples
+  /// remain meaningful. See P2oBuildOptions.
+  bool phase1_parallel = false;
+
   /// A small config that keeps unit tests fast: 6x8x2 mesh, 6 sensors,
   /// 3 gauges, Nt=12 at 5 s — the same pipeline at ~1/50 the paper's Nt
   /// and ~1/100 its sensor count.
   static TwinConfig tiny();
+
+  /// FNV-1a hash over every result-determining field (bathymetry, mesh,
+  /// order, physics, kernel, cfl, observations, prior, noise level — NOT
+  /// build-strategy knobs like phase1_parallel). Two configs with equal
+  /// fingerprints produce interchangeable offline artifacts; the artifact
+  /// bundle stores the producer's fingerprint and the warm-start path
+  /// asserts compatibility against it.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
 /// Synthetic ground truth + observations for one rupture scenario.
@@ -99,6 +117,34 @@ struct InversionResult {
 class DigitalTwin {
  public:
   explicit DigitalTwin(const TwinConfig& config);
+
+  /// Warm start (the warning-center boot path): reconstruct the full online
+  /// state — posterior, predictor, streaming support — from a Phase 1-3
+  /// artifact bundle without a single PDE solve or factorization. The twin's
+  /// configuration is read from the bundle itself; the stored fingerprint is
+  /// verified against the reconstructed config before anything is trusted.
+  /// infer() and streaming push() on the result are bit-identical to the
+  /// cold-path twin that produced the bundle (tests/test_artifact_bundle.cpp).
+  explicit DigitalTwin(const ArtifactBundle& bundle);
+
+  // ---- offline artifact shipping -------------------------------------------
+  /// Serialize everything Phase 4 needs (config + fingerprint, F/Fq block
+  /// columns, the Cholesky factor of K, Q, Gamma_post(q), the calibrated
+  /// noise) into one versioned, checksummed bundle file. Requires completed
+  /// offline phases.
+  void save_offline(const std::string& path) const;
+
+  /// The in-memory form of save_offline (exposed for tests and tooling).
+  [[nodiscard]] ArtifactBundle make_bundle() const;
+
+  /// Boot a twin from a bundle file (HPC side writes, warning center reads).
+  [[nodiscard]] static DigitalTwin load_offline(const std::string& path);
+
+  /// As above, but additionally asserts the bundle was produced by a twin
+  /// with exactly this configuration (fingerprint comparison); throws
+  /// std::runtime_error on mismatch.
+  [[nodiscard]] static DigitalTwin load_offline(const std::string& path,
+                                                const TwinConfig& expected);
 
   // ---- offline phases ------------------------------------------------------
   /// Phase 1: build F and Fq (Nd + Nq adjoint propagations).
@@ -132,8 +178,10 @@ class DigitalTwin {
   /// whose assimilators ingest one observation interval per push and
   /// maintain the exact truncated posterior (rolling m_map + forecast) with
   /// no refactorization. Requires phases 1-3; the twin must outlive the
-  /// engine. See src/core/streaming_assimilator.hpp for the prefix-Cholesky
-  /// argument.
+  /// engine, and the engine carries a lifetime token so violating that (or
+  /// re-running the offline phases underneath it) throws std::logic_error
+  /// instead of slicing freed state. See src/core/streaming_assimilator.hpp
+  /// for the prefix-Cholesky argument.
   [[nodiscard]] StreamingEngine make_streaming(
       const StreamingOptions& options = {},
       TimerRegistry* timers = nullptr) const;
@@ -171,6 +219,16 @@ class DigitalTwin {
   }
 
  private:
+  /// Unpack + fingerprint-verify the config stored in a bundle.
+  [[nodiscard]] static TwinConfig config_from_bundle(
+      const ArtifactBundle& bundle);
+  /// Rebuild posterior_/predictor_ (and f_/fq_/hessian_) from bundle
+  /// sections, with per-section dimension checks against this twin.
+  void install_offline(const ArtifactBundle& bundle);
+  /// Replace the offline-state epoch token: any streaming engine built over
+  /// the previous offline state now throws instead of slicing stale slabs.
+  void refresh_offline_epoch();
+
   TwinConfig cfg_;
   Bathymetry bathy_;
   std::unique_ptr<HexMesh> mesh_;
@@ -185,6 +243,9 @@ class DigitalTwin {
   std::unique_ptr<DataSpaceHessian> hessian_;
   std::unique_ptr<Posterior> posterior_;
   std::unique_ptr<QoiPredictor> predictor_;
+  /// Lifetime token handed to streaming engines; recreated whenever the
+  /// offline operators they bake slabs from are (re)built.
+  std::shared_ptr<const std::uint64_t> offline_epoch_;
   TimerRegistry timers_;
 };
 

@@ -54,6 +54,23 @@ QoiPredictor::QoiPredictor(const BlockToeplitz& f, const BlockToeplitz& fq,
   if (timers) timers->add("compute Q", q_watch.seconds());
 }
 
+QoiPredictor::QoiPredictor(const BlockToeplitz& fq, Matrix data_to_qoi,
+                           Matrix qoi_cov)
+    : fq_(fq),
+      nq_(fq.block_rows()),
+      nt_(fq.num_blocks()),
+      q_map_op_(std::move(data_to_qoi)),
+      cov_q_(std::move(qoi_cov)) {
+  const std::size_t nqoi = fq.output_dim();
+  if (q_map_op_.rows() != nqoi)
+    throw std::invalid_argument("QoiPredictor: Q rows != Fq output dim");
+  if (cov_q_.rows() != nqoi || cov_q_.cols() != nqoi)
+    throw std::invalid_argument("QoiPredictor: Gamma_post(q) shape mismatch");
+  std_q_.resize(nqoi);
+  for (std::size_t i = 0; i < nqoi; ++i)
+    std_q_[i] = std::sqrt(std::max(0.0, cov_q_(i, i)));
+}
+
 Forecast QoiPredictor::predict(std::span<const double> d_obs) const {
   if (d_obs.size() != data_dim())
     throw std::invalid_argument("QoiPredictor::predict: data size mismatch");

@@ -46,6 +46,13 @@ class QoiPredictor {
                const MaternPrior& prior, const DataSpaceHessian& hessian,
                TimerRegistry* timers = nullptr);
 
+  /// Warm start from the shipped Phase 3 products: the dense data-to-QoI
+  /// map Q and Gamma_post(q), loaded from an artifact bundle instead of
+  /// recomputed. predict() on the result is bit-identical to the cold-built
+  /// predictor's. `fq` is still needed for apply_fq_mean (and its block
+  /// shape defines the gauge/time split); its blocks ship in the bundle.
+  QoiPredictor(const BlockToeplitz& fq, Matrix data_to_qoi, Matrix qoi_cov);
+
   [[nodiscard]] std::size_t qoi_dim() const { return q_map_op_.rows(); }
   [[nodiscard]] std::size_t data_dim() const { return q_map_op_.cols(); }
   [[nodiscard]] std::size_t num_gauges() const { return nq_; }

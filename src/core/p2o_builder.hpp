@@ -23,12 +23,26 @@ struct P2oMap {
   std::size_t nt = 0;          ///< Nt
 };
 
-/// Runs `obs.num_outputs()` adjoint propagations (the paper parallelizes
-/// these across the machine; they are embarrassingly parallel) and assembles
-/// the block Toeplitz map. Records "Setup"/"Adjoint p2o" timer samples.
+/// How the outer loop over observation rows (one adjoint solve each) runs.
+struct P2oBuildOptions {
+  /// Opt-in: run the adjoint solves concurrently (they are embarrassingly
+  /// parallel — the paper spreads them across the machine; each solve uses
+  /// only local state over a const model and writes disjoint block rows, so
+  /// the assembled map is bit-identical to the serial build). Off by
+  /// default: the serial loop keeps the per-solve "Adjoint p2o" timer
+  /// samples meaningful (Table III measures one propagation at a time), and
+  /// the threaded inner kernels already own the cores on small runs.
+  bool parallel_rows = false;
+};
+
+/// Runs `obs.num_outputs()` adjoint propagations and assembles the block
+/// Toeplitz map. Serial mode records per-solve "Setup"/"Adjoint p2o" timer
+/// samples; parallel mode records one aggregate "Adjoint p2o (parallel)"
+/// wall sample instead (TimerRegistry is not thread-safe by design).
 [[nodiscard]] P2oMap build_p2o_map(const AcousticGravityModel& model,
                                    const ObservationOperator& obs,
                                    const TimeGrid& grid,
-                                   TimerRegistry* timers = nullptr);
+                                   TimerRegistry* timers = nullptr,
+                                   const P2oBuildOptions& options = {});
 
 }  // namespace tsunami

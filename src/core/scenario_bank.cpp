@@ -12,11 +12,37 @@
 
 namespace tsunami {
 
+namespace {
+
+const DigitalTwin& require_twin(
+    const std::shared_ptr<const DigitalTwin>& twin) {
+  if (!twin) throw std::invalid_argument("ScenarioBank: null twin");
+  return *twin;
+}
+
+}  // namespace
+
 ScenarioBank::ScenarioBank(const DigitalTwin& twin,
                            std::vector<ScenarioSpec> specs)
     : twin_(twin), specs_(std::move(specs)) {
   if (specs_.empty())
     throw std::invalid_argument("ScenarioBank: empty scenario list");
+}
+
+ScenarioBank::ScenarioBank(std::shared_ptr<const DigitalTwin> twin,
+                           std::vector<ScenarioSpec> specs)
+    : owned_(std::move(twin)), twin_(require_twin(owned_)),
+      specs_(std::move(specs)) {
+  if (specs_.empty())
+    throw std::invalid_argument("ScenarioBank: empty scenario list");
+}
+
+ScenarioBank ScenarioBank::from_bundle(const std::string& bundle_path,
+                                       std::size_t n, unsigned seed) {
+  auto twin = std::make_shared<const DigitalTwin>(
+      DigitalTwin::load_offline(bundle_path));
+  std::vector<ScenarioSpec> specs = spread(*twin, n, seed);
+  return ScenarioBank(std::move(twin), std::move(specs));
 }
 
 std::vector<ScenarioSpec> ScenarioBank::spread(const DigitalTwin& twin,

@@ -26,6 +26,7 @@
 // accuracy aggregates.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -145,6 +146,22 @@ class ScenarioBank {
   /// phases need not have run yet — only `run_online` requires them.
   ScenarioBank(const DigitalTwin& twin, std::vector<ScenarioSpec> specs);
 
+  /// Owning variant (the warm-start path): the bank shares ownership of the
+  /// twin, so a bundle-booted twin needs no separate keeper. Throws
+  /// std::invalid_argument on a null twin.
+  ScenarioBank(std::shared_ptr<const DigitalTwin> twin,
+               std::vector<ScenarioSpec> specs);
+
+  /// Warm-start an ensemble sweep from one artifact bundle: boot the twin
+  /// from `bundle_path` (no PDE solves, no factorization — see
+  /// DigitalTwin::load_offline), spread `n` scenarios over its footprint,
+  /// and return a bank owning the twin. Every scenario in the sweep reuses
+  /// the single shipped offline state; only `synthesize()` (experiment
+  /// setup, not part of a deployment) still runs the forward model.
+  [[nodiscard]] static ScenarioBank from_bundle(const std::string& bundle_path,
+                                                std::size_t n,
+                                                unsigned seed = 2025);
+
   /// Deterministic spread of `n` distinct compact scenarios over the twin's
   /// footprint: magnitude in [8.0, 9.1], epicenter swept along strike,
   /// rise time in [8, 16] s, rupture speed in [2000, 3000] m/s, and a
@@ -201,6 +218,7 @@ class ScenarioBank {
   [[nodiscard]] const DigitalTwin& twin() const { return twin_; }
 
  private:
+  std::shared_ptr<const DigitalTwin> owned_;  ///< set on the owning path only
   const DigitalTwin& twin_;
   std::vector<ScenarioSpec> specs_;
   std::vector<SyntheticEvent> events_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "linalg/blas.hpp"
 #include "parallel/parallel_for.hpp"
@@ -11,9 +12,12 @@ namespace tsunami {
 StreamingEngine::StreamingEngine(const Posterior& posterior,
                                  const QoiPredictor& predictor,
                                  const StreamingOptions& options,
-                                 TimerRegistry* timers)
+                                 TimerRegistry* timers,
+                                 std::shared_ptr<const void> lifetime)
     : post_(posterior),
       pred_(predictor),
+      lifetime_(lifetime),
+      guarded_(lifetime != nullptr),
       opts_(options),
       nd_(posterior.forward_map().block_rows()),
       nt_(posterior.time_dim()),
@@ -91,7 +95,16 @@ StreamingEngine::StreamingEngine(const Posterior& posterior,
   if (timers) timers->add("streaming: precompute", precompute_seconds_);
 }
 
+void StreamingEngine::check_alive(const char* what) const {
+  if (!operators_alive())
+    throw std::logic_error(
+        std::string(what) +
+        ": the twin that owns this engine's operators was destroyed or its "
+        "offline state was rebuilt — rebuild the engine via make_streaming");
+}
+
 StreamingAssimilator StreamingEngine::start() const {
+  check_alive("StreamingEngine::start");
   return StreamingAssimilator(*this);
 }
 
@@ -109,6 +122,7 @@ StreamingAssimilator::StreamingAssimilator(const StreamingEngine& engine)
 
 void StreamingAssimilator::push(std::size_t tick,
                                 std::span<const double> d_block) {
+  eng_.check_alive("StreamingAssimilator::push");
   if (complete())
     throw std::logic_error("StreamingAssimilator::push: event window full");
   if (tick != t_)
@@ -136,6 +150,7 @@ void StreamingAssimilator::push(std::size_t tick,
 }
 
 Forecast StreamingAssimilator::forecast() const {
+  eng_.check_alive("StreamingAssimilator::forecast");
   Forecast fc;
   fc.num_gauges = eng_.pred_.num_gauges();
   fc.num_times = eng_.pred_.num_times();
@@ -160,6 +175,7 @@ const std::vector<double>& StreamingAssimilator::map_estimate() const {
 }
 
 std::vector<double> StreamingAssimilator::map_snapshot() const {
+  eng_.check_alive("StreamingAssimilator::map_snapshot");
   const std::size_t p = t_ * eng_.block_size();
   // u = K_p^{-1} d_p: the forward half is already cached in z; finish with
   // the prefix backward substitution, then lift through G* on the prefix.

@@ -48,6 +48,7 @@
 //                          q_map); cheap to create, reset, and replay.
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -69,14 +70,26 @@ struct StreamingOptions {
 class StreamingAssimilator;
 
 /// Immutable streaming precompute over one twin's offline operators. The
-/// posterior/predictor (and the twin owning them) must outlive the engine.
+/// posterior/predictor (and the twin owning them) must outlive the engine —
+/// and unlike the pre-guard design, violating that is now a clean throw,
+/// not undefined behavior: engines built through DigitalTwin::make_streaming
+/// carry a lifetime token tied to the twin's offline state, and every entry
+/// point that would slice dangling posterior state checks it first. A twin
+/// that is destroyed OR whose offline phases are re-run (replacing the
+/// operators the slabs were baked from) expires the token.
 class StreamingEngine {
  public:
   /// Requires completed offline phases (the factorized Hessian lives in the
-  /// posterior). Records a "streaming: precompute" timer sample.
+  /// posterior). Records a "streaming: precompute" timer sample. `lifetime`
+  /// is the owner's validity token (DigitalTwin passes its offline-state
+  /// epoch): when the token expires, start()/push()/forecast()/map_snapshot()
+  /// throw std::logic_error instead of dereferencing freed operators.
+  /// Engines built without a token (direct construction in tests) keep the
+  /// legacy unguarded contract.
   StreamingEngine(const Posterior& posterior, const QoiPredictor& predictor,
                   const StreamingOptions& options = {},
-                  TimerRegistry* timers = nullptr);
+                  TimerRegistry* timers = nullptr,
+                  std::shared_ptr<const void> lifetime = {});
 
   /// Begin assimilating a new event.
   [[nodiscard]] StreamingAssimilator start() const;
@@ -100,11 +113,22 @@ class StreamingEngine {
   [[nodiscard]] const Posterior& posterior() const { return post_; }
   [[nodiscard]] const QoiPredictor& predictor() const { return pred_; }
 
+  /// True while the operators this engine slices are guaranteed alive
+  /// (always true for unguarded engines).
+  [[nodiscard]] bool operators_alive() const {
+    return !guarded_ || !lifetime_.expired();
+  }
+
  private:
   friend class StreamingAssimilator;
 
+  /// Throws std::logic_error if the owning twin's offline state is gone.
+  void check_alive(const char* what) const;
+
   const Posterior& post_;
   const QoiPredictor& pred_;
+  std::weak_ptr<const void> lifetime_;
+  bool guarded_ = false;
   StreamingOptions opts_;
   std::size_t nd_, nt_, n_, np_, nqoi_;
   Matrix r_;             ///< L^{-1} V, (Nd Nt) x nqoi; row j contiguous

@@ -77,6 +77,22 @@ DenseCholesky::DenseCholesky(const Matrix& a, std::size_t block) : l_(a) {
     for (std::size_t j = i + 1; j < n; ++j) lp[i * n + j] = 0.0;
 }
 
+DenseCholesky DenseCholesky::from_factor(Matrix l) {
+  if (l.rows() != l.cols())
+    throw std::invalid_argument("DenseCholesky::from_factor: not square");
+  const std::size_t n = l.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(l(i, i) > 0.0))
+      throw std::runtime_error(
+          "DenseCholesky::from_factor: nonpositive diagonal (not a Cholesky "
+          "factor)");
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
+  }
+  DenseCholesky c;
+  c.l_ = std::move(l);
+  return c;
+}
+
 void DenseCholesky::forward_solve_range(std::span<double> b, std::size_t begin,
                                         std::size_t end) const {
   const std::size_t n = l_.rows();

@@ -27,6 +27,13 @@ class DenseCholesky {
   /// pivot is encountered (matrix not SPD to working precision).
   explicit DenseCholesky(const Matrix& a, std::size_t block = 64);
 
+  /// Rebuild from a previously computed factor (factor export/import: the
+  /// warm-start path loads L from an artifact bundle instead of paying the
+  /// O(n^3) factorization again). `l` must be square with positive diagonal;
+  /// its strict upper triangle is zeroed to restore the class invariant.
+  /// All solves on the result are bit-identical to the original object's.
+  [[nodiscard]] static DenseCholesky from_factor(Matrix l);
+
   /// Solve A x = b in place (forward + backward substitution).
   void solve_in_place(std::span<double> b) const;
 
@@ -66,6 +73,8 @@ class DenseCholesky {
   [[nodiscard]] std::size_t dim() const { return l_.rows(); }
 
  private:
+  DenseCholesky() = default;  ///< for from_factor
+
   Matrix l_;
 };
 

@@ -1,6 +1,8 @@
 #include "util/io.hpp"
 
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 namespace tsunami {
@@ -43,13 +45,56 @@ std::ifstream open_in(const std::string& path) {
   return f;
 }
 
+/// Size of an opened file in bytes (for validating header dimensions before
+/// any allocation).
+std::uint64_t file_bytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw std::runtime_error("io: cannot stat: " + path);
+  return static_cast<std::uint64_t>(size);
+}
+
 void expect_magic(std::ifstream& f, std::uint64_t magic,
                   const std::string& path) {
   if (read_u64(f) != magic)
     throw std::runtime_error("io: bad file signature: " + path);
 }
 
+/// The header claims `count` doubles of payload after `header_bytes` of
+/// header. Reject headers whose claim disagrees with the file on disk —
+/// before the claim sizes any allocation.
+void expect_payload(std::uint64_t count, std::uint64_t header_bytes,
+                    const std::string& path) {
+  const std::uint64_t payload =
+      checked_mul_u64(count, sizeof(double), "io: payload size");
+  const std::uint64_t actual = file_bytes(path);
+  if (actual < header_bytes || actual - header_bytes != payload)
+    throw std::runtime_error(
+        "io: header dimensions disagree with file size (truncated or corrupt "
+        "header): " +
+        path);
+  if (count > std::numeric_limits<std::size_t>::max() / sizeof(double))
+    throw std::runtime_error("io: payload too large for this platform: " +
+                             path);
+}
+
+/// Flush, then check: a buffered write that only fails at stream teardown
+/// would otherwise be reported as success, leaving a silently corrupt
+/// artifact on disk.
+void finish_write(std::ofstream& f, const std::string& path) {
+  f.flush();
+  if (!f) throw std::runtime_error("io: write failed: " + path);
+}
+
 }  // namespace
+
+std::uint64_t checked_mul_u64(std::uint64_t a, std::uint64_t b,
+                              const char* what) {
+  if (b != 0 && a > std::numeric_limits<std::uint64_t>::max() / b)
+    throw std::runtime_error(std::string(what) +
+                             ": integer overflow in size computation");
+  return a * b;
+}
 
 void save_matrix(const std::string& path, const Matrix& m) {
   auto f = open_out(path);
@@ -57,7 +102,7 @@ void save_matrix(const std::string& path, const Matrix& m) {
   write_u64(f, m.rows());
   write_u64(f, m.cols());
   write_doubles(f, m.data(), m.size());
-  if (!f) throw std::runtime_error("io: write failed: " + path);
+  finish_write(f, path);
 }
 
 Matrix load_matrix(const std::string& path) {
@@ -65,7 +110,10 @@ Matrix load_matrix(const std::string& path) {
   expect_magic(f, kMatrixMagic, path);
   const std::uint64_t rows = read_u64(f);
   const std::uint64_t cols = read_u64(f);
-  Matrix m(rows, cols);
+  if (!f) throw std::runtime_error("io: truncated matrix header: " + path);
+  const std::uint64_t count = checked_mul_u64(rows, cols, "io: matrix dims");
+  expect_payload(count, 3 * sizeof(std::uint64_t), path);
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
   read_doubles(f, m.data(), m.size());
   if (!f) throw std::runtime_error("io: truncated matrix file: " + path);
   return m;
@@ -76,20 +124,26 @@ void save_vector(const std::string& path, const std::vector<double>& v) {
   write_u64(f, kVectorMagic);
   write_u64(f, v.size());
   write_doubles(f, v.data(), v.size());
-  if (!f) throw std::runtime_error("io: write failed: " + path);
+  finish_write(f, path);
 }
 
 std::vector<double> load_vector(const std::string& path) {
   auto f = open_in(path);
   expect_magic(f, kVectorMagic, path);
-  std::vector<double> v(read_u64(f));
+  const std::uint64_t count = read_u64(f);
+  if (!f) throw std::runtime_error("io: truncated vector header: " + path);
+  expect_payload(count, 2 * sizeof(std::uint64_t), path);
+  std::vector<double> v(static_cast<std::size_t>(count));
   read_doubles(f, v.data(), v.size());
   if (!f) throw std::runtime_error("io: truncated vector file: " + path);
   return v;
 }
 
 void save_p2o(const std::string& path, const P2oArchive& archive) {
-  if (archive.blocks.size() != archive.nrows * archive.ncols * archive.nt)
+  const std::uint64_t count = checked_mul_u64(
+      checked_mul_u64(archive.nrows, archive.ncols, "save_p2o: dims"),
+      archive.nt, "save_p2o: dims");
+  if (archive.blocks.size() != count)
     throw std::invalid_argument("save_p2o: block array size mismatch");
   auto f = open_out(path);
   write_u64(f, kP2oMagic);
@@ -97,7 +151,7 @@ void save_p2o(const std::string& path, const P2oArchive& archive) {
   write_u64(f, archive.ncols);
   write_u64(f, archive.nt);
   write_doubles(f, archive.blocks.data(), archive.blocks.size());
-  if (!f) throw std::runtime_error("io: write failed: " + path);
+  finish_write(f, path);
 }
 
 P2oArchive load_p2o(const std::string& path) {
@@ -107,7 +161,12 @@ P2oArchive load_p2o(const std::string& path) {
   a.nrows = read_u64(f);
   a.ncols = read_u64(f);
   a.nt = read_u64(f);
-  a.blocks.resize(a.nrows * a.ncols * a.nt);
+  if (!f) throw std::runtime_error("io: truncated p2o header: " + path);
+  const std::uint64_t count = checked_mul_u64(
+      checked_mul_u64(a.nrows, a.ncols, "load_p2o: dims"), a.nt,
+      "load_p2o: dims");
+  expect_payload(count, 4 * sizeof(std::uint64_t), path);
+  a.blocks.resize(static_cast<std::size_t>(count));
   read_doubles(f, a.blocks.data(), a.blocks.size());
   if (!f) throw std::runtime_error("io: truncated p2o file: " + path);
   return a;

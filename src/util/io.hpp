@@ -18,8 +18,19 @@
 
 namespace tsunami {
 
-/// Write/read a dense matrix with shape header. Throws std::runtime_error
-/// on I/O failure or signature mismatch.
+/// a * b with overflow detection. Header dimensions come straight off disk,
+/// so every size computation on them must refuse to wrap: a wrapped product
+/// silently undersizes the destination buffer and turns a corrupt header
+/// into a heap overflow. Throws std::runtime_error naming `what`.
+[[nodiscard]] std::uint64_t checked_mul_u64(std::uint64_t a, std::uint64_t b,
+                                            const char* what);
+
+/// Write/read a dense matrix with shape header. Loads validate the header
+/// dimensions against the actual file size before allocating, so a corrupt
+/// or truncated header raises std::runtime_error (with the path) instead of
+/// a multi-GB allocation or a heap overflow. Writers flush before their
+/// final stream check so buffered write failures cannot be reported as
+/// success. Throws std::runtime_error on I/O failure or signature mismatch.
 void save_matrix(const std::string& path, const Matrix& m);
 [[nodiscard]] Matrix load_matrix(const std::string& path);
 

@@ -100,6 +100,22 @@ TEST(ForwardP2o, TimeShiftInvariance) {
       EXPECT_NEAR(d2[(i + 2) * s.nd + j], d0[i * s.nd + j], 1e-11 * scale);
 }
 
+TEST(AdjointP2o, ParallelOuterLoopBitIdenticalToSerial) {
+  // The opt-in Phase 1 parallelization must not change a single bit: each
+  // adjoint solve is independent, deterministic, and writes disjoint rows.
+  P2oSetup s;
+  const P2oMap serial = build_p2o_map(s.model, *s.obs, s.grid);
+  TimerRegistry timers;
+  const P2oMap parallel = build_p2o_map(s.model, *s.obs, s.grid, &timers,
+                                        {.parallel_rows = true});
+  ASSERT_EQ(parallel.blocks.size(), serial.blocks.size());
+  for (std::size_t i = 0; i < serial.blocks.size(); ++i)
+    ASSERT_EQ(parallel.blocks[i], serial.blocks[i]) << "block entry " << i;
+  // Parallel mode records one aggregate sample, not per-solve samples.
+  EXPECT_EQ(timers.count("Adjoint p2o"), 0);
+  EXPECT_EQ(timers.count("Adjoint p2o (parallel)"), 1);
+}
+
 TEST(AdjointP2o, RowsReproduceForwardMap) {
   // Build F from one adjoint solve per sensor, then check F m == forward(m)
   // to near machine precision — the discrete adjoint is exact.

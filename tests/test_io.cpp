@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <initializer_list>
 
 #include "util/io.hpp"
 #include "util/rng.hpp"
@@ -101,6 +104,93 @@ TEST(Io, TruncatedFileThrows) {
   std::filesystem::resize_file(path, 128);  // chop off most of the payload
   EXPECT_THROW((void)load_matrix(path), std::runtime_error);
   std::filesystem::remove(path);
+}
+
+// ---- hardened header validation -------------------------------------------
+// A corrupt header must raise a clean std::runtime_error BEFORE any
+// allocation sized by it: the old loaders resized to whatever the header
+// claimed (multi-GB bad_alloc on garbage, heap overflow on a wrapped
+// product).
+
+namespace {
+
+void write_u64s(std::ofstream& f, std::initializer_list<std::uint64_t> vs) {
+  for (const std::uint64_t v : vs)
+    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+constexpr std::uint64_t kMatrixMagic = 0x54534d4154524958ULL;
+constexpr std::uint64_t kVectorMagic = 0x545356454354'4f52ULL;
+constexpr std::uint64_t kP2oMagic = 0x5453'50324f'4d4150ULL;
+
+}  // namespace
+
+TEST(Io, CheckedMulDetectsOverflow) {
+  EXPECT_EQ(checked_mul_u64(1u << 22, 1u << 22, "test"), 1ull << 44);
+  EXPECT_THROW((void)checked_mul_u64(1ull << 33, 1ull << 33, "test"),
+               std::runtime_error);
+  EXPECT_EQ(checked_mul_u64(0, ~0ull, "test"), 0u);
+}
+
+TEST(Io, MatrixHeaderDimsExceedingFileSizeThrow) {
+  const auto path = temp_path("tsunami_io_liar_matrix.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    // Header claims a 10^9 x 10^9 matrix; payload is one double.
+    write_u64s(f, {kMatrixMagic, 1000000000ull, 1000000000ull});
+    const double v = 1.0;
+    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  EXPECT_THROW((void)load_matrix(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, VectorHeaderLengthExceedingFileSizeThrows) {
+  const auto path = temp_path("tsunami_io_liar_vector.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    write_u64s(f, {kVectorMagic, 1ull << 40});
+  }
+  EXPECT_THROW((void)load_vector(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, P2oHeaderProductOverflowThrowsCleanly) {
+  const auto path = temp_path("tsunami_io_liar_p2o.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    // nrows * ncols * nt = 2^66: wraps uint64_t. The unchecked version
+    // resized to the wrapped (tiny) product, then read past the buffer.
+    write_u64s(f, {kP2oMagic, 1ull << 22, 1ull << 22, 1ull << 22});
+  }
+  EXPECT_THROW((void)load_p2o(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, TrailingGarbageRejected) {
+  // Header dimensions must agree with the file size exactly: extra bytes
+  // mean the header does not describe this file.
+  Rng rng(6);
+  const auto v = rng.normal_vector(8);
+  const auto path = temp_path("tsunami_io_trailing.bin");
+  save_vector(path, v);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write("junk", 4);
+  }
+  EXPECT_THROW((void)load_vector(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, WriteFailureIsReportedNotSwallowed) {
+  // /dev/full accepts the open but fails the (possibly buffered) write; the
+  // writers must flush and check rather than report success.
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP();
+  Rng rng(7);
+  const auto v = rng.normal_vector(4096);
+  EXPECT_THROW(save_vector("/dev/full", v), std::runtime_error);
+  Matrix m(64, 64, 1.5);
+  EXPECT_THROW(save_matrix("/dev/full", m), std::runtime_error);
 }
 
 }  // namespace
