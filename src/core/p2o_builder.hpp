@@ -38,7 +38,9 @@ struct P2oBuildOptions {
 /// Runs `obs.num_outputs()` adjoint propagations and assembles the block
 /// Toeplitz map. Serial mode records per-solve "Setup"/"Adjoint p2o" timer
 /// samples; parallel mode records one aggregate "Adjoint p2o (parallel)"
-/// wall sample instead (TimerRegistry is not thread-safe by design).
+/// wall sample instead (per-thread samples from inside the region would
+/// measure thread wall time, not the region's — the registry itself is
+/// thread-safe).
 [[nodiscard]] P2oMap build_p2o_map(const AcousticGravityModel& model,
                                    const ObservationOperator& obs,
                                    const TimeGrid& grid,

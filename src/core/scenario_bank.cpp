@@ -212,6 +212,12 @@ EnsembleReport ScenarioBank::run_online(bool parallel) const {
   }
   report.online_wall_seconds = wall.seconds();
 
+  std::vector<double> online_samples;
+  online_samples.reserve(report.scenarios.size());
+  for (const auto& r : report.scenarios)
+    online_samples.push_back(r.online_seconds);
+  report.online_latency = summarize_latencies(std::move(online_samples));
+
   const double n = static_cast<double>(report.scenarios.size());
   for (const auto& r : report.scenarios) {
     report.mean_online_seconds += r.online_seconds / n;
@@ -248,6 +254,9 @@ StreamingSweepReport ScenarioBank::run_streaming(const StreamingEngine& engine,
   StreamingSweepReport report;
   report.tolerance = tolerance;
   report.scenarios.resize(specs_.size());
+  // Per-scenario slots (disjoint writes under parallel_for); flattened into
+  // the sweep-wide percentile summary after the barrier.
+  std::vector<std::vector<double>> push_samples(specs_.size());
 
   Stopwatch wall;
   const auto run_one = [&](std::size_t i) {
@@ -255,11 +264,13 @@ StreamingSweepReport ScenarioBank::run_streaming(const StreamingEngine& engine,
     StreamingScenarioResult& res = report.scenarios[i];
     res.spec = specs_[i];
     res.ticks_total = nt;
+    push_samples[i].reserve(nt);
 
     StreamingAssimilator assim = engine.start();
     Matrix q_history(nt, engine.qoi_dim());
     for (std::size_t t = 0; t < nt; ++t) {
       assim.push(t, std::span<const double>(ev.d_obs).subspan(t * nd, nd));
+      push_samples[i].push_back(assim.last_push_seconds());
       res.max_push_seconds =
           std::max(res.max_push_seconds, assim.last_push_seconds());
       const auto& q = assim.qoi_mean();
@@ -303,6 +314,12 @@ StreamingSweepReport ScenarioBank::run_streaming(const StreamingEngine& engine,
     for (std::size_t i = 0; i < specs_.size(); ++i) run_one(i);
   }
   report.wall_seconds = wall.seconds();
+
+  std::vector<double> all_pushes;
+  all_pushes.reserve(specs_.size() * nt);
+  for (const auto& s : push_samples)
+    all_pushes.insert(all_pushes.end(), s.begin(), s.end());
+  report.push_latency = summarize_latencies(std::move(all_pushes));
 
   const double n = static_cast<double>(report.scenarios.size());
   for (const auto& r : report.scenarios) {
@@ -350,7 +367,15 @@ std::string StreamingSweepReport::table() const {
       .cell("")
       .cell("")
       .cell("");
-  return t.str();
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "push latency over %zu pushes: p50 %s | p95 %s | p99 %s | "
+                "max %s\n",
+                push_latency.count, format_duration(push_latency.p50).c_str(),
+                format_duration(push_latency.p95).c_str(),
+                format_duration(push_latency.p99).c_str(),
+                format_duration(push_latency.max).c_str());
+  return t.str() + tail;
 }
 
 std::string EnsembleReport::table() const {
@@ -380,7 +405,16 @@ std::string EnsembleReport::table() const {
       .cell(mean_forecast_correlation, 3)
       .cell(mean_ci_coverage, 2)
       .cell("");
-  return t.str();
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "online latency over %zu scenarios: p50 %s | p95 %s | "
+                "p99 %s | max %s\n",
+                online_latency.count,
+                format_duration(online_latency.p50).c_str(),
+                format_duration(online_latency.p95).c_str(),
+                format_duration(online_latency.p99).c_str(),
+                format_duration(online_latency.max).c_str());
+  return t.str() + tail;
 }
 
 }  // namespace tsunami

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/digital_twin.hpp"
+#include "util/stats.hpp"
 
 namespace tsunami {
 
@@ -111,8 +112,14 @@ struct StreamingSweepReport {
   double mean_confident_fraction = 0.0;
   double mean_push_seconds = 0.0;
   double max_push_seconds = 0.0;
+  /// Distribution of EVERY per-tick push latency in the sweep (count =
+  /// scenarios x ticks), not just per-scenario means: the sweep analogue of
+  /// the warning service's p50/p95/p99 telemetry, computed by the same
+  /// util/stats estimator. Tail latency is what an operator provisions for.
+  LatencySummary push_latency;
 
-  /// Paper-style text table: one row per scenario plus an aggregate footer.
+  /// Paper-style text table: one row per scenario plus an aggregate footer
+  /// and a push-latency percentile line.
   [[nodiscard]] std::string table() const;
 };
 
@@ -127,8 +134,12 @@ struct EnsembleReport {
   double mean_forecast_error = 0.0;  ///< the "ensemble-mean forecast error"
   double mean_forecast_correlation = 0.0;
   double mean_ci_coverage = 0.0;
+  /// Distribution of the per-scenario online latencies (p50/p95/p99 via
+  /// util/stats — the same estimator the service telemetry uses).
+  LatencySummary online_latency;
 
-  /// Paper-style text table: one row per scenario plus an aggregate footer.
+  /// Paper-style text table: one row per scenario plus an aggregate footer
+  /// and an online-latency percentile line.
   [[nodiscard]] std::string table() const;
 };
 

@@ -1,0 +1,164 @@
+#include "service/event_session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tsunami {
+
+EventSession::EventSession(EventId id,
+                           std::shared_ptr<const CachedEngine> engine,
+                           const AlertPolicy& alert, std::size_t max_pending,
+                           BackpressurePolicy policy)
+    : id_(id),
+      engine_([&] {
+        if (!engine) throw std::invalid_argument("EventSession: null engine");
+        return std::move(engine);
+      }()),
+      alert_(alert),
+      max_pending_(max_pending),
+      policy_(policy),
+      assim_(engine_->engine().start()) {
+  if (max_pending_ == 0)
+    throw std::invalid_argument("EventSession: max_pending == 0");
+  // Publish the prior as the initial snapshot so latest_forecast is
+  // meaningful before the first observation lands.
+  latest_forecast_ = assim_.forecast();
+}
+
+bool EventSession::submit(std::size_t tick, std::span<const double> d_block,
+                          ServiceTelemetry& telemetry) {
+  const StreamingEngine& eng = engine_->engine();
+  if (tick >= eng.num_ticks())
+    throw std::invalid_argument("EventSession::submit: tick out of range");
+  if (d_block.size() != eng.block_size())
+    throw std::invalid_argument("EventSession::submit: block size mismatch");
+
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  if (closing_)
+    throw std::logic_error("EventSession::submit: event is closed");
+  if (tick < next_expected_ || pending_.count(tick))
+    throw std::invalid_argument("EventSession::submit: duplicate tick");
+  // The next-expected tick is always accepted even when the buffer is full:
+  // it is exactly the block whose arrival lets the workers drain the queue,
+  // so bouncing it would stall (kBlock: deadlock; kReject: livelock) a
+  // session whose buffer filled up with out-of-order future ticks.
+  if (tick != next_expected_ && pending_.size() >= max_pending_) {
+    if (policy_ == BackpressurePolicy::kReject) {
+      telemetry.on_rejected();
+      throw ServiceOverloaded("EventSession::submit: ingest queue full");
+    }
+    // The bypass must be re-evaluated inside the wait: the workers can
+    // advance next_expected_ to exactly this tick while we sleep, at which
+    // point this block is the only one that can unblock the session and
+    // waiting for queue space (which can't free without it) would deadlock.
+    // take_runnable_locked notifies space_cv_ on every advance.
+    space_cv_.wait(lock, [&] {
+      return closing_ || tick == next_expected_ ||
+             pending_.size() < max_pending_;
+    });
+    if (closing_)
+      throw std::logic_error("EventSession::submit: event is closed");
+    if (tick < next_expected_ || pending_.count(tick))
+      throw std::invalid_argument("EventSession::submit: duplicate tick");
+  }
+  pending_.emplace(tick, std::vector<double>(d_block.begin(), d_block.end()));
+
+  // Schedule iff in-order work just became available and no worker owns the
+  // session: exactly one producer wins the flag, so at most one worker ever
+  // drains a session at a time (the ordering + determinism invariant).
+  const bool runnable =
+      !pending_.empty() && pending_.begin()->first == next_expected_;
+  if (runnable && !scheduled_) {
+    scheduled_ = true;
+    return true;
+  }
+  return false;
+}
+
+std::vector<EventSession::Block> EventSession::take_runnable_locked() {
+  std::vector<Block> batch;
+  while (!pending_.empty() && pending_.begin()->first == next_expected_) {
+    auto node = pending_.extract(pending_.begin());
+    batch.push_back(Block{node.key(), std::move(node.mapped())});
+    ++next_expected_;
+  }
+  if (!batch.empty()) space_cv_.notify_all();
+  return batch;
+}
+
+void EventSession::drain_for(ServiceTelemetry& telemetry) {
+  for (;;) {
+    std::vector<Block> batch;
+    {
+      const std::lock_guard<std::mutex> lock(state_mutex_);
+      batch = take_runnable_locked();
+      if (batch.empty()) {
+        // Going idle. A submit racing with this branch either ran before we
+        // took the lock (its block would be in the batch) or runs after
+        // scheduled_ drops (and wins the flag itself) — no lost wakeups.
+        scheduled_ = false;
+        idle_cv_.notify_all();
+        return;
+      }
+    }
+    // The slow part — the actual prefix-Cholesky pushes — runs without any
+    // lock: producers keep submitting and other sessions keep draining.
+    for (const Block& b : batch) assimilate(b, telemetry);
+  }
+}
+
+void EventSession::assimilate(const Block& block,
+                              ServiceTelemetry& telemetry) {
+  assim_.push(block.tick, block.data);
+  telemetry.on_push(assim_.last_push_seconds());
+
+  Forecast fc = assim_.forecast();
+  bool latch = false;
+  if (alert_.threshold > 0.0 && !alert_latched_) {
+    double peak = 0.0;
+    for (double v : fc.mean) peak = std::max(peak, v);
+    above_threshold_streak_ =
+        peak > alert_.threshold ? above_threshold_streak_ + 1 : 0;
+    latch = above_threshold_streak_ >= alert_.debounce_ticks;
+  }
+
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  ticks_assimilated_ = assim_.ticks_received();
+  if (latch) {
+    alert_latched_ = true;
+    alert_tick_ = ticks_assimilated_;
+  }
+  latest_forecast_ = std::move(fc);
+}
+
+void EventSession::begin_close() {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  closing_ = true;
+  space_cv_.notify_all();
+}
+
+void EventSession::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  idle_cv_.wait(lock, [&] { return !scheduled_; });
+}
+
+EventSnapshot EventSession::snapshot() const {
+  EventSnapshot s;
+  s.id = id_;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    s.ticks_pending = pending_.size();
+    s.closing = closing_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    s.ticks_assimilated = ticks_assimilated_;
+    s.alert = alert_latched_;
+    s.alert_tick = alert_tick_;
+    s.forecast = latest_forecast_;
+  }
+  s.complete = s.ticks_assimilated == engine_->engine().num_ticks();
+  return s;
+}
+
+}  // namespace tsunami

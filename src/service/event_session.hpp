@@ -1,0 +1,160 @@
+#pragma once
+
+// EventSession: the per-event half of the warning service.
+//
+// One session wraps one StreamingAssimilator (cheap, a few vectors of
+// per-event state) over a shared CachedEngine (the expensive, immutable
+// per-network slabs). Around the assimilator it adds what a live feed
+// needs and the library layer deliberately does not have:
+//
+//   * an ingest queue of (tick, d_block) observations with per-session
+//     REORDERING — packets from a seafloor cable arrive out of order, but
+//     the prefix-Cholesky update is order-dependent, so blocks are buffered
+//     until the next expected tick is available and assimilated strictly
+//     in tick order (which is also what makes a concurrent replay
+//     bit-identical to a serial one);
+//   * a BOUNDED queue with a backpressure policy: block the producer
+//     (deployment default — the transport should feel the stall) or reject
+//     with ServiceOverloaded (load-shedding);
+//   * a debounced ALERT latch (peak forecast mean above threshold for K
+//     consecutive ticks, the examples' warning-center rule);
+//   * a mutex-guarded SNAPSHOT of the latest forecast + alert state, so
+//     operator dashboards read without touching assimilator internals.
+//
+// Threading contract: any number of producer threads may call submit();
+// at most one service worker at a time runs drain_for() (enforced by the
+// scheduled-flag protocol in WarningService); snapshot()/wait_idle() are
+// safe from anywhere.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/forecast.hpp"
+#include "service/engine_cache.hpp"
+#include "service/service_telemetry.hpp"
+
+namespace tsunami {
+
+using EventId = std::uint64_t;
+
+/// What submit() does when a session's ingest queue is full.
+enum class BackpressurePolicy {
+  kBlock,   ///< producer waits for the workers to catch up (default)
+  kReject,  ///< submit throws ServiceOverloaded; the tick is dropped
+};
+
+/// Thrown by submit() under BackpressurePolicy::kReject on a full queue.
+struct ServiceOverloaded : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Debounced warning rule: latch an alert once the peak forecast mean has
+/// exceeded `threshold` for `debounce_ticks` consecutive ticks.
+/// threshold <= 0 disables alerting.
+struct AlertPolicy {
+  double threshold = 0.0;
+  std::size_t debounce_ticks = 2;
+};
+
+/// Point-in-time public state of one event session.
+struct EventSnapshot {
+  EventId id = 0;
+  std::size_t ticks_assimilated = 0;
+  std::size_t ticks_pending = 0;  ///< buffered, not yet assimilated
+  bool complete = false;          ///< all Nt intervals assimilated
+  bool closing = false;
+  bool alert = false;
+  /// Intervals assimilated when the alert latched (alert_tick * dt is the
+  /// alert time in data time). Meaningful only when `alert`.
+  std::size_t alert_tick = 0;
+  Forecast forecast;  ///< latest rolling forecast (prior if no data yet)
+};
+
+class EventSession {
+ public:
+  EventSession(EventId id, std::shared_ptr<const CachedEngine> engine,
+               const AlertPolicy& alert, std::size_t max_pending,
+               BackpressurePolicy policy);
+
+  EventSession(const EventSession&) = delete;
+  EventSession& operator=(const EventSession&) = delete;
+
+  /// Buffer observation interval `tick`. Ticks may arrive in any order;
+  /// duplicates (buffered or already assimilated) and ticks outside
+  /// [0, Nt) throw std::invalid_argument, submits after begin_close()
+  /// throw std::logic_error. Returns true iff the caller must schedule
+  /// this session on a worker (in-order work became available and no
+  /// worker currently owns the session).
+  [[nodiscard]] bool submit(std::size_t tick, std::span<const double> d_block,
+                            ServiceTelemetry& telemetry);
+
+  /// Worker entry point: assimilate every in-order buffered block, then
+  /// release the session. Only the worker that won the scheduled flag (via
+  /// submit() returning true) may call this.
+  void drain_for(ServiceTelemetry& telemetry);
+
+  /// Refuse further submits (and wake producers blocked on backpressure,
+  /// who then see the session closing and throw).
+  void begin_close();
+
+  /// Block until no worker owns the session and no in-order work remains.
+  /// Buffered blocks beyond a tick gap stay pending (they can never be
+  /// assimilated without the missing tick) and are reported in the
+  /// snapshot rather than waited on.
+  void wait_idle();
+
+  [[nodiscard]] EventSnapshot snapshot() const;
+
+  [[nodiscard]] EventId id() const { return id_; }
+  [[nodiscard]] const CachedEngine& cached_engine() const { return *engine_; }
+
+ private:
+  struct Block {
+    std::size_t tick;
+    std::vector<double> data;
+  };
+
+  /// Move the runnable prefix (consecutive ticks from next_expected_) out
+  /// of the buffer. Called under state_mutex_.
+  [[nodiscard]] std::vector<Block> take_runnable_locked();
+
+  /// Push one block through the assimilator and refresh the snapshot +
+  /// alert latch. Called by the owning worker only (no state_mutex_).
+  void assimilate(const Block& block, ServiceTelemetry& telemetry);
+
+  const EventId id_;
+  const std::shared_ptr<const CachedEngine> engine_;  ///< shared, immutable
+  const AlertPolicy alert_;
+  const std::size_t max_pending_;
+  const BackpressurePolicy policy_;
+
+  // Assimilator + alert streak: touched only by the owning worker.
+  StreamingAssimilator assim_;
+  std::size_t above_threshold_streak_ = 0;
+
+  // Ingest queue + scheduling state, guarded by state_mutex_.
+  mutable std::mutex state_mutex_;
+  std::condition_variable space_cv_;  ///< backpressure waiters
+  std::condition_variable idle_cv_;   ///< wait_idle waiters
+  std::map<std::size_t, std::vector<double>> pending_;  ///< tick -> block
+  std::size_t next_expected_ = 0;  ///< next tick the assimilator must see
+  bool scheduled_ = false;         ///< a worker owns (or is queued for) this
+  bool closing_ = false;
+
+  // Published state, guarded by snapshot_mutex_ (never held together with
+  // state_mutex_).
+  mutable std::mutex snapshot_mutex_;
+  std::size_t ticks_assimilated_ = 0;
+  bool alert_latched_ = false;
+  std::size_t alert_tick_ = 0;
+  Forecast latest_forecast_;
+};
+
+}  // namespace tsunami

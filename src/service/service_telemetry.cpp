@@ -1,0 +1,69 @@
+#include "service/service_telemetry.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace tsunami {
+
+ServiceTelemetry::ServiceTelemetry(std::size_t window) {
+  if (window == 0)
+    throw std::invalid_argument("ServiceTelemetry: window == 0");
+  latency_ring_.resize(window, 0.0);
+}
+
+void ServiceTelemetry::on_push(double seconds) {
+  ticks_assimilated_.fetch_add(1, relaxed);
+  const std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_ring_[ring_next_] = seconds;
+  ring_next_ = (ring_next_ + 1) % latency_ring_.size();
+  if (ring_filled_ < latency_ring_.size()) ++ring_filled_;
+}
+
+TelemetrySnapshot ServiceTelemetry::snapshot() const {
+  TelemetrySnapshot s;
+  s.events_opened = events_opened_.load(relaxed);
+  s.events_closed = events_closed_.load(relaxed);
+  // The two loads are not atomic together: a close that lands between them
+  // could make closed > opened. Saturate rather than wrap to ~1.8e19.
+  s.events_in_flight = s.events_closed > s.events_opened
+                           ? 0
+                           : s.events_opened - s.events_closed;
+  s.ticks_assimilated = ticks_assimilated_.load(relaxed);
+  s.ticks_rejected = ticks_rejected_.load(relaxed);
+  s.wall_seconds = since_start_.seconds();
+  s.ticks_per_second =
+      s.wall_seconds > 0.0
+          ? static_cast<double>(s.ticks_assimilated) / s.wall_seconds
+          : 0.0;
+  std::vector<double> sample;
+  {
+    const std::lock_guard<std::mutex> lock(latency_mutex_);
+    sample.assign(latency_ring_.begin(),
+                  latency_ring_.begin() +
+                      static_cast<std::ptrdiff_t>(ring_filled_));
+  }
+  s.push_latency = summarize_latencies(std::move(sample));
+  return s;
+}
+
+std::string TelemetrySnapshot::str() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "events %llu in flight (%llu opened, %llu closed) | %llu ticks "
+      "(%.0f/s aggregate, %llu rejected) | push p50 %s p95 %s p99 %s max %s",
+      static_cast<unsigned long long>(events_in_flight),
+      static_cast<unsigned long long>(events_opened),
+      static_cast<unsigned long long>(events_closed),
+      static_cast<unsigned long long>(ticks_assimilated), ticks_per_second,
+      static_cast<unsigned long long>(ticks_rejected),
+      format_duration(push_latency.p50).c_str(),
+      format_duration(push_latency.p95).c_str(),
+      format_duration(push_latency.p99).c_str(),
+      format_duration(push_latency.max).c_str());
+  return buf;
+}
+
+}  // namespace tsunami

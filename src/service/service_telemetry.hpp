@@ -1,0 +1,76 @@
+#pragma once
+
+// Service-wide telemetry for the multi-event warning service.
+//
+// A warning center is judged operationally: how many events is it tracking,
+// is assimilation keeping up with data arrival, and what does the *tail* of
+// the push-latency distribution look like (one slow push during a real
+// event is a late alert). This collector is written to by every worker
+// thread on every push, so it must be cheap and thread-safe: counters are
+// relaxed atomics, and latencies land in a mutex-guarded ring that keeps
+// the most recent `window` samples for percentile estimation (p50/p95/p99
+// via util/stats — the same estimator the ScenarioBank reports use).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace tsunami {
+
+/// Point-in-time view of the service counters (see ServiceTelemetry).
+struct TelemetrySnapshot {
+  std::uint64_t events_opened = 0;
+  std::uint64_t events_closed = 0;
+  std::uint64_t events_in_flight = 0;  ///< opened - closed
+  std::uint64_t ticks_assimilated = 0;
+  std::uint64_t ticks_rejected = 0;  ///< backpressure rejections (kReject)
+  double wall_seconds = 0.0;         ///< since service start
+  /// Aggregate assimilation rate over the service lifetime. The per-window
+  /// rate a load test wants is (delta ticks) / (delta wall) between two
+  /// snapshots.
+  double ticks_per_second = 0.0;
+  /// Push-latency distribution over the retained window (count = samples
+  /// currently in the window, not lifetime pushes).
+  LatencySummary push_latency;
+
+  /// One-line operator summary ("events 12 | 3.4k ticks/s | p99 180 us").
+  [[nodiscard]] std::string str() const;
+};
+
+/// Thread-safe telemetry collector owned by a WarningService.
+class ServiceTelemetry {
+ public:
+  /// `window` bounds the latency ring (and the cost of a snapshot sort).
+  explicit ServiceTelemetry(std::size_t window = 1 << 16);
+
+  void on_event_opened() { events_opened_.fetch_add(1, relaxed); }
+  void on_event_closed() { events_closed_.fetch_add(1, relaxed); }
+  void on_rejected() { ticks_rejected_.fetch_add(1, relaxed); }
+
+  /// Record one assimilated tick and its push latency.
+  void on_push(double seconds);
+
+  [[nodiscard]] TelemetrySnapshot snapshot() const;
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> events_opened_{0};
+  std::atomic<std::uint64_t> events_closed_{0};
+  std::atomic<std::uint64_t> ticks_assimilated_{0};
+  std::atomic<std::uint64_t> ticks_rejected_{0};
+  Stopwatch since_start_;
+
+  mutable std::mutex latency_mutex_;
+  std::vector<double> latency_ring_;  ///< capacity = window
+  std::size_t ring_next_ = 0;         ///< next write slot
+  std::size_t ring_filled_ = 0;       ///< min(total pushes, window)
+};
+
+}  // namespace tsunami

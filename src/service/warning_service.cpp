@@ -1,0 +1,132 @@
+#include "service/warning_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace tsunami {
+
+WarningService::WarningService(const ServiceOptions& options)
+    : options_(options), telemetry_(options.telemetry_window) {
+  if (options_.num_workers == 0)
+    throw std::invalid_argument("WarningService: num_workers == 0");
+  if (options_.max_pending_per_event == 0)
+    throw std::invalid_argument("WarningService: max_pending_per_event == 0");
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WarningService::~WarningService() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+EventId WarningService::open_event(
+    std::shared_ptr<const CachedEngine> engine) {
+  return open_event(std::move(engine), options_.default_alert);
+}
+
+EventId WarningService::open_event(std::shared_ptr<const CachedEngine> engine,
+                                   const AlertPolicy& alert) {
+  // Session construction (one StreamingAssimilator: a few vectors) happens
+  // outside the sessions lock; only the id allocation and map insert are
+  // serialized.
+  EventId id;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    id = next_id_++;
+  }
+  auto session = std::make_shared<EventSession>(
+      id, std::move(engine), alert, options_.max_pending_per_event,
+      options_.backpressure);
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.emplace(id, std::move(session));
+  }
+  telemetry_.on_event_opened();
+  return id;
+}
+
+void WarningService::submit(EventId id, std::size_t tick,
+                            std::span<const double> d_block) {
+  // Hold the session by shared_ptr, not iterator: a concurrent close only
+  // removes it from the map, and a submit that raced past the removal gets
+  // the session's own closed-event throw.
+  const std::shared_ptr<EventSession> s = session(id);
+  if (s->submit(tick, d_block, telemetry_)) enqueue_ready(s);
+}
+
+EventSnapshot WarningService::latest_forecast(EventId id) const {
+  return session(id)->snapshot();
+}
+
+EventSnapshot WarningService::close_event(EventId id) {
+  std::shared_ptr<EventSession> s;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+      throw std::out_of_range("WarningService: unknown event id");
+    s = std::move(it->second);
+    sessions_.erase(it);
+  }
+  s->begin_close();
+  s->wait_idle();
+  telemetry_.on_event_closed();
+  return s->snapshot();
+}
+
+void WarningService::drain() {
+  std::vector<std::shared_ptr<EventSession>> open;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    open.reserve(sessions_.size());
+    for (const auto& [_, s] : sessions_) open.push_back(s);
+  }
+  for (const auto& s : open) s->wait_idle();
+}
+
+std::size_t WarningService::events_in_flight() const {
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+std::shared_ptr<EventSession> WarningService::session(EventId id) const {
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end())
+    throw std::out_of_range("WarningService: unknown event id");
+  return it->second;
+}
+
+void WarningService::enqueue_ready(std::shared_ptr<EventSession> s) {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    ready_.push_back(std::move(s));
+  }
+  queue_cv_.notify_one();
+}
+
+void WarningService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<EventSession> s;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
+      if (stopping_) return;
+      s = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    // drain_for assimilates the session's whole in-order backlog and clears
+    // its scheduled flag under the session lock, so per-session execution
+    // stays single-threaded while distinct sessions run concurrently.
+    s->drain_for(telemetry_);
+  }
+}
+
+}  // namespace tsunami

@@ -1,0 +1,124 @@
+#pragma once
+
+// WarningService: concurrent event sessions over shared warm-start engines.
+//
+// The paper's online phase serves ONE event; an operational warning center
+// during a Cascadia sequence (mainshock, aftershocks, far-field arrivals —
+// and scenario sweeps running alongside live events) needs many at once.
+// This is the serving layer: a worker pool drains per-event ingest queues
+// and pushes observations through per-event StreamingAssimilators, all of
+// which share the immutable per-network StreamingEngine slabs held by an
+// EngineCache — hundreds of sessions, one copy of the operators.
+//
+//   EngineCache cache;                          // one per process
+//   WarningService service({.num_workers = 8});
+//   auto engine = cache.load("cascadia.bundle");        // warm start, once
+//   EventId ev = service.open_event(engine, {.threshold = 1.0});
+//   service.submit(ev, tick, d_block);          // any thread, any tick order
+//   EventSnapshot s = service.latest_forecast(ev);      // lock-briefly read
+//   EventSnapshot fin = service.close_event(ev);        // drains, removes
+//
+// Guarantees:
+//   * per-event determinism — blocks are assimilated strictly in tick
+//     order by at most one worker at a time, so an N-event concurrent
+//     replay is bit-identical to N serial StreamingAssimilator replays
+//     (asserted in tests/test_service.cpp);
+//   * bounded memory — each session's ingest queue is capped
+//     (max_pending_per_event) with a block-or-reject backpressure policy;
+//   * observability — service-wide telemetry (events in flight, aggregate
+//     ticks/sec, p50/p95/p99 push latency) via telemetry().
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "service/engine_cache.hpp"
+#include "service/event_session.hpp"
+#include "service/service_telemetry.hpp"
+
+namespace tsunami {
+
+struct ServiceOptions {
+  /// Worker threads draining session queues. The workers are std::threads,
+  /// not an OpenMP team: pushes are latency-bound and long-lived, and must
+  /// not serialize behind the twin's own parallel_for regions.
+  std::size_t num_workers = 4;
+  /// Per-session ingest-queue bound (the next-expected tick always bypasses
+  /// it — see EventSession::submit).
+  std::size_t max_pending_per_event = 128;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Alert rule applied when open_event() is not given one.
+  AlertPolicy default_alert{};
+  /// Latency samples retained for the telemetry percentiles.
+  std::size_t telemetry_window = 1 << 16;
+};
+
+class WarningService {
+ public:
+  explicit WarningService(const ServiceOptions& options = {});
+
+  /// Stops the workers. Does NOT drain: buffered-but-unassimilated blocks
+  /// are dropped (call drain() or close_event() first if they matter).
+  ~WarningService();
+
+  WarningService(const WarningService&) = delete;
+  WarningService& operator=(const WarningService&) = delete;
+
+  /// Register a new event over `engine` (from an EngineCache; the session
+  /// shares the engine, nothing is copied). Thread-safe.
+  [[nodiscard]] EventId open_event(std::shared_ptr<const CachedEngine> engine);
+  [[nodiscard]] EventId open_event(std::shared_ptr<const CachedEngine> engine,
+                                   const AlertPolicy& alert);
+
+  /// Ingest observation interval `tick` of event `id`. Any thread, any
+  /// tick order within the event window; duplicates and out-of-range ticks
+  /// throw std::invalid_argument, unknown ids std::out_of_range, closed
+  /// events std::logic_error, and a full queue blocks or throws
+  /// ServiceOverloaded per the backpressure policy.
+  void submit(EventId id, std::size_t tick, std::span<const double> d_block);
+
+  /// Latest rolling forecast + alert state of one event (cheap snapshot).
+  [[nodiscard]] EventSnapshot latest_forecast(EventId id) const;
+
+  /// Drain the event's remaining in-order backlog, remove it from the
+  /// service, and return its final state. Subsequent submits/queries on
+  /// the id throw. Buffered blocks beyond a tick gap are discarded (they
+  /// could never be assimilated) and reported via ticks_pending.
+  EventSnapshot close_event(EventId id);
+
+  /// Block until every open session's in-order backlog is assimilated.
+  void drain();
+
+  [[nodiscard]] TelemetrySnapshot telemetry() const {
+    return telemetry_.snapshot();
+  }
+  [[nodiscard]] std::size_t events_in_flight() const;
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] std::shared_ptr<EventSession> session(EventId id) const;
+  void enqueue_ready(std::shared_ptr<EventSession> s);
+  void worker_loop();
+
+  ServiceOptions options_;
+  ServiceTelemetry telemetry_;
+
+  mutable std::mutex sessions_mutex_;
+  std::map<EventId, std::shared_ptr<EventSession>> sessions_;
+  EventId next_id_ = 1;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<EventSession>> ready_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;  ///< last member: joined before teardown
+};
+
+}  // namespace tsunami

@@ -1,0 +1,42 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsunami {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (q < 0.0 || q > 100.0)
+    throw std::invalid_argument("percentile: q outside [0, 100]");
+  if (sorted.empty()) return 0.0;
+  const double pos =
+      q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> sample, double q) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+LatencySummary summarize_latencies(std::vector<double> sample) {
+  LatencySummary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  double sum = 0.0;
+  for (double v : sample) sum += v;
+  s.mean = sum / static_cast<double>(sample.size());
+  s.max = sample.back();
+  s.p50 = percentile_sorted(sample, 50.0);
+  s.p95 = percentile_sorted(sample, 95.0);
+  s.p99 = percentile_sorted(sample, 99.0);
+  return s;
+}
+
+}  // namespace tsunami

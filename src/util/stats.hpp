@@ -1,0 +1,44 @@
+#pragma once
+
+// Order statistics shared by every latency report in the codebase.
+//
+// The paper quotes tail behavior, not just means ("the online phase must
+// keep up with data arrival"), and a warning service is judged by its p99
+// push latency: one slow assimilation during a real event is a late alert.
+// This header is the single definition of "percentile" so the service
+// telemetry (src/service/), the scenario-bank sweep reports (src/core/),
+// and the benchmarks all agree on the estimator.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tsunami {
+
+/// The q-th percentile (q in [0, 100]) of an ascending-sorted sample, using
+/// linear interpolation between closest ranks (the numpy default). Returns
+/// 0 for an empty sample; throws std::invalid_argument for q outside
+/// [0, 100]. The input must already be sorted — this overload trusts its
+/// caller and costs O(1).
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+/// As above for an unsorted sample: copies and sorts (O(n log n)).
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+/// The five numbers every latency table in this repo prints. Aggregated
+/// once from a sample via `summarize_latencies`.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Sorts `sample` in place and fills a LatencySummary from it (one sort
+/// serves all three percentiles).
+[[nodiscard]] LatencySummary summarize_latencies(std::vector<double> sample);
+
+}  // namespace tsunami

@@ -2,7 +2,22 @@
 
 namespace tsunami {
 
+TimerRegistry::TimerRegistry(TimerRegistry&& other) noexcept {
+  const std::lock_guard<std::mutex> lock(other.mutex_);
+  entries_ = std::move(other.entries_);
+  order_ = std::move(other.order_);
+}
+
+TimerRegistry& TimerRegistry::operator=(TimerRegistry&& other) noexcept {
+  if (this == &other) return *this;
+  const std::scoped_lock lock(mutex_, other.mutex_);
+  entries_ = std::move(other.entries_);
+  order_ = std::move(other.order_);
+  return *this;
+}
+
 void TimerRegistry::add(const std::string& name, double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     order_.push_back(name);
@@ -13,28 +28,38 @@ void TimerRegistry::add(const std::string& name, double seconds) {
 }
 
 double TimerRegistry::total(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   return it == entries_.end() ? 0.0 : it->second.total;
 }
 
 long TimerRegistry::count(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   return it == entries_.end() ? 0 : it->second.count;
 }
 
 double TimerRegistry::mean(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end() || it->second.count == 0) return 0.0;
   return it->second.total / static_cast<double>(it->second.count);
 }
 
+std::vector<std::string> TimerRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return order_;
+}
+
 double TimerRegistry::grand_total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   double sum = 0.0;
   for (const auto& [_, e] : entries_) sum += e.total;
   return sum;
 }
 
 void TimerRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   order_.clear();
 }

@@ -147,6 +147,13 @@ TEST_F(ScenarioBankTest, BatchedOnlineSweepRecoversEveryScenario) {
   EXPECT_GT(report.online_wall_seconds, 0.0);
   EXPECT_GT(report.max_online_seconds, 0.0);
   EXPECT_LE(report.mean_online_seconds, report.max_online_seconds + 1e-15);
+  // Percentile summary over the per-scenario online latencies (util/stats).
+  EXPECT_EQ(report.online_latency.count, kBankSize);
+  EXPECT_GT(report.online_latency.p50, 0.0);
+  EXPECT_LE(report.online_latency.p50, report.online_latency.p95);
+  EXPECT_LE(report.online_latency.p95, report.online_latency.p99);
+  EXPECT_LE(report.online_latency.p99, report.online_latency.max);
+  EXPECT_DOUBLE_EQ(report.online_latency.max, report.max_online_seconds);
   EXPECT_FALSE(report.table().empty());
 }
 
@@ -191,6 +198,13 @@ TEST_F(ScenarioBankTest, StreamingSweepConvergesToBatchForecasts) {
   EXPECT_GT(sweep.mean_confident_fraction, 0.0);
   EXPECT_LE(sweep.mean_confident_fraction, 1.0);
   EXPECT_LE(sweep.mean_confident_seconds, sweep.max_confident_seconds + 1e-15);
+  // Percentiles over EVERY per-tick push in the sweep (scenarios x ticks).
+  EXPECT_EQ(sweep.push_latency.count, bank_->size() * nt);
+  EXPECT_GT(sweep.push_latency.p50, 0.0);
+  EXPECT_LE(sweep.push_latency.p50, sweep.push_latency.p95);
+  EXPECT_LE(sweep.push_latency.p95, sweep.push_latency.p99);
+  EXPECT_LE(sweep.push_latency.p99, sweep.push_latency.max);
+  EXPECT_DOUBLE_EQ(sweep.push_latency.max, sweep.max_push_seconds);
   EXPECT_FALSE(sweep.table().empty());
 }
 

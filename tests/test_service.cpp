@@ -1,0 +1,359 @@
+// Tests for the multi-event warning service (src/service/): engine-cache
+// identity (one engine per fingerprint), bit-for-bit equivalence of a
+// concurrent N-event replay against N independent single-threaded
+// StreamingAssimilator replays, per-event reordering of out-of-order
+// submits, submit validation (unknown/closed events, duplicates, bad
+// blocks), backpressure, the debounced alert latch, and telemetry. This
+// suite is the one the ThreadSanitizer CI job runs against the service's
+// worker pool.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "service/engine_cache.hpp"
+#include "service/warning_service.hpp"
+#include "util/rng.hpp"
+
+namespace tsunami {
+namespace {
+
+/// One tiny twin + offline phases, shared by the suite (the offline build
+/// dominates wall time); the cache entry all sessions share.
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto twin = std::make_shared<DigitalTwin>(TwinConfig::tiny());
+    RuptureConfig rc;
+    Asperity a;
+    a.x0 = 0.3 * twin->mesh().length_x();
+    a.y0 = 0.5 * twin->mesh().length_y();
+    a.rx = 16e3;
+    a.ry = 24e3;
+    a.peak_uplift = 2.0;
+    rc.asperities.push_back(a);
+    rc.hypocenter_x = a.x0;
+    rc.hypocenter_y = a.y0;
+    Rng rng(5);
+    event_ = new SyntheticEvent(twin->synthesize(RuptureScenario(rc), rng));
+    twin->run_offline(event_->noise);
+    twin_ = new std::shared_ptr<const DigitalTwin>(std::move(twin));
+    cache_ = new EngineCache({.track_map = true});
+    cached_ = new std::shared_ptr<const CachedEngine>(cache_->adopt(*twin_));
+  }
+  static void TearDownTestSuite() {
+    delete cached_;
+    delete cache_;
+    delete twin_;
+    delete event_;
+    cached_ = nullptr;
+    cache_ = nullptr;
+    twin_ = nullptr;
+    event_ = nullptr;
+  }
+
+  /// Distinct synthetic event e: the shared noiseless data re-noised from a
+  /// per-event stream (what a bank of concurrent real events looks like to
+  /// the service — same network, different data).
+  static std::vector<double> make_obs(unsigned e) {
+    std::vector<double> d = event_->d_true;
+    Rng rng(1000 + e);
+    for (auto& v : d) v += event_->noise.sigma * rng.normal();
+    return d;
+  }
+
+  /// Independent single-threaded reference replay over the same engine.
+  static StreamingAssimilator replay(const std::vector<double>& d_obs) {
+    const StreamingEngine& eng = (*cached_)->engine();
+    StreamingAssimilator assim = eng.start();
+    for (std::size_t t = 0; t < eng.num_ticks(); ++t)
+      assim.push(t, std::span<const double>(d_obs).subspan(
+                        t * eng.block_size(), eng.block_size()));
+    return assim;
+  }
+
+  static std::size_t nt() { return (*cached_)->engine().num_ticks(); }
+  static std::size_t nd() { return (*cached_)->engine().block_size(); }
+  static std::span<const double> block(const std::vector<double>& d,
+                                       std::size_t t) {
+    return std::span<const double>(d).subspan(t * nd(), nd());
+  }
+
+  static SyntheticEvent* event_;
+  static std::shared_ptr<const DigitalTwin>* twin_;
+  static EngineCache* cache_;
+  static std::shared_ptr<const CachedEngine>* cached_;
+};
+
+SyntheticEvent* ServiceTest::event_ = nullptr;
+std::shared_ptr<const DigitalTwin>* ServiceTest::twin_ = nullptr;
+EngineCache* ServiceTest::cache_ = nullptr;
+std::shared_ptr<const CachedEngine>* ServiceTest::cached_ = nullptr;
+
+TEST_F(ServiceTest, CacheReturnsSameEngineForSameFingerprint) {
+  // Same twin adopted again -> the exact same CachedEngine instance.
+  EXPECT_EQ(cache_->adopt(*twin_).get(), cached_->get());
+  EXPECT_EQ(cache_->size(), 1u);
+
+  // A bundle round-trip produces the same fingerprint, hence the same
+  // instance — the second load() must not even rebuild the slabs.
+  const std::string path = testing::TempDir() + "service_cache.bundle";
+  (*twin_)->save_offline(path);
+  const auto from_bundle = cache_->load(path);
+  EXPECT_EQ(from_bundle.get(), cached_->get());
+  EXPECT_EQ(cache_->load(path).get(), cached_->get());
+  EXPECT_EQ(cache_->size(), 1u);
+
+  const std::uint64_t fp = (*twin_)->config().fingerprint();
+  EXPECT_EQ(cache_->find(fp).get(), cached_->get());
+  EXPECT_EQ(cache_->find(fp ^ 1), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceTest, CacheRejectsColdOrNullTwin) {
+  EngineCache cache;
+  EXPECT_THROW((void)cache.adopt(nullptr), std::invalid_argument);
+  EXPECT_THROW(
+      (void)cache.adopt(std::make_shared<const DigitalTwin>(TwinConfig::tiny())),
+      std::logic_error);
+}
+
+// The ISSUE acceptance criterion: >= 64 concurrent events over a >= 4
+// worker pool must produce forecasts (and MAP estimates) bit-identical to
+// 64 independent single-threaded replays. Submission is interleaved
+// round-robin across events from several producer threads to maximize
+// queue churn.
+TEST_F(ServiceTest, ConcurrentReplayOf64EventsIsBitIdentical) {
+  constexpr unsigned kEvents = 64;
+  constexpr std::size_t kProducers = 4;
+
+  std::vector<std::vector<double>> obs;
+  obs.reserve(kEvents);
+  for (unsigned e = 0; e < kEvents; ++e) obs.push_back(make_obs(e));
+
+  WarningService service({.num_workers = 4});
+  std::vector<EventId> ids;
+  ids.reserve(kEvents);
+  for (unsigned e = 0; e < kEvents; ++e)
+    ids.push_back(service.open_event(*cached_));
+
+  // kProducers threads, each feeding its share of events tick-by-tick.
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t t = 0; t < nt(); ++t)
+        for (unsigned e = static_cast<unsigned>(p); e < kEvents;
+             e += kProducers)
+          service.submit(ids[e], t, block(obs[e], t));
+    });
+  }
+  for (auto& th : producers) th.join();
+  service.drain();
+
+  for (unsigned e = 0; e < kEvents; ++e) {
+    const StreamingAssimilator ref = replay(obs[e]);
+    const Forecast expect = ref.forecast();
+    const EventSnapshot got = service.close_event(ids[e]);
+    ASSERT_TRUE(got.complete) << "event " << e;
+    EXPECT_EQ(got.ticks_assimilated, nt());
+    // Bitwise, not approximate: same engine, same per-event push order.
+    EXPECT_EQ(got.forecast.mean, expect.mean) << "event " << e;
+    EXPECT_EQ(got.forecast.stddev, expect.stddev) << "event " << e;
+    EXPECT_EQ(got.forecast.lower95, expect.lower95) << "event " << e;
+    EXPECT_EQ(got.forecast.upper95, expect.upper95) << "event " << e;
+  }
+  EXPECT_EQ(service.events_in_flight(), 0u);
+  EXPECT_EQ(service.telemetry().ticks_assimilated, kEvents * nt());
+}
+
+TEST_F(ServiceTest, OutOfOrderSubmitsAreReorderedWithinAnEvent) {
+  const std::vector<double> d = make_obs(7);
+  // A fixed adversarial permutation (seeded Fisher-Yates shuffle of the
+  // whole window — arbitrary-distance reordering, not just adjacent swaps).
+  std::vector<std::size_t> order(nt());
+  std::iota(order.begin(), order.end(), 0u);
+  Rng rng(42);
+  for (std::size_t i = order.size(); i-- > 1;)
+    std::swap(order[i],
+              order[static_cast<std::size_t>(rng.uniform() * (i + 1)) % (i + 1)]);
+
+  WarningService service({.num_workers = 4,
+                          .max_pending_per_event = nt()});
+  const EventId id = service.open_event(*cached_);
+  for (const std::size_t t : order) service.submit(id, t, block(d, t));
+  service.drain();
+
+  const StreamingAssimilator ref = replay(d);
+  const EventSnapshot got = service.close_event(id);
+  EXPECT_TRUE(got.complete);
+  EXPECT_EQ(got.forecast.mean, ref.forecast().mean);
+  EXPECT_EQ(got.forecast.stddev, ref.forecast().stddev);
+}
+
+TEST_F(ServiceTest, SubmitValidation) {
+  WarningService service({.num_workers = 4});
+  const std::vector<double> d = make_obs(11);
+
+  EXPECT_THROW(service.submit(999, 0, block(d, 0)), std::out_of_range);
+  EXPECT_THROW((void)service.latest_forecast(999), std::out_of_range);
+  EXPECT_THROW((void)service.close_event(999), std::out_of_range);
+
+  const EventId id = service.open_event(*cached_);
+  EXPECT_THROW(service.submit(id, nt(), block(d, 0)), std::invalid_argument);
+  EXPECT_THROW(
+      service.submit(id, 0, std::span<const double>(d).first(nd() - 1)),
+      std::invalid_argument);
+  service.submit(id, 3, block(d, 3));
+  EXPECT_THROW(service.submit(id, 3, block(d, 3)), std::invalid_argument);
+  service.submit(id, 0, block(d, 0));
+  service.drain();
+  // Tick 0 has been assimilated; resubmitting it is a duplicate too.
+  EXPECT_THROW(service.submit(id, 0, block(d, 0)), std::invalid_argument);
+
+  // A closed event is unknown to the service afterwards.
+  (void)service.close_event(id);
+  EXPECT_THROW(service.submit(id, 1, block(d, 1)), std::out_of_range);
+  EXPECT_THROW((void)service.close_event(id), std::out_of_range);
+}
+
+TEST_F(ServiceTest, RejectPolicyThrowsServiceOverloadedOnFullQueue) {
+  WarningService service({.num_workers = 1,
+                          .max_pending_per_event = 2,
+                          .backpressure = BackpressurePolicy::kReject});
+  const std::vector<double> d = make_obs(13);
+  const EventId id = service.open_event(*cached_);
+
+  // Ticks 4 and 3 buffer (tick 0 is missing, nothing is runnable); tick 2
+  // overflows the bound. The missing tick 0 itself always bypasses the
+  // bound — accepting it is what lets the queue drain.
+  service.submit(id, 4, block(d, 4));
+  service.submit(id, 3, block(d, 3));
+  EXPECT_THROW(service.submit(id, 2, block(d, 2)), ServiceOverloaded);
+  EXPECT_GE(service.telemetry().ticks_rejected, 1u);
+  service.submit(id, 0, block(d, 0));
+  service.drain();
+  // 0 assimilated; 3, 4 still wait on the (dropped) tick 1 and 2.
+  EXPECT_EQ(service.latest_forecast(id).ticks_assimilated, 1u);
+  // Gap fills bypass the bound, but only once the worker has caught up is
+  // there queue space for ordinary ticks — drain between the two.
+  service.submit(id, 1, block(d, 1));
+  service.drain();
+  service.submit(id, 2, block(d, 2));
+  service.drain();
+  EXPECT_EQ(service.latest_forecast(id).ticks_assimilated, 5u);
+}
+
+// Regression: a kBlock producer sleeping on a full queue whose tick BECOMES
+// next-expected while it waits must wake via the bypass condition — the
+// queue is full of future ticks that can only drain through this block, so
+// waiting for queue space would deadlock the session permanently.
+TEST_F(ServiceTest, BlockedProducerWakesWhenItsTickBecomesNextExpected) {
+  WarningService service({.num_workers = 1,
+                          .max_pending_per_event = 2,
+                          .backpressure = BackpressurePolicy::kBlock});
+  const std::vector<double> d = make_obs(19);
+  const EventId id = service.open_event(*cached_);
+
+  service.submit(id, 3, block(d, 3));
+  service.submit(id, 4, block(d, 4));  // queue full, next_expected = 0
+  std::thread producer([&] { service.submit(id, 1, block(d, 1)); });
+  // Give the producer time to park on the full queue, then fill the gap:
+  // tick 0 bypasses the bound, the worker assimilates it, and next_expected
+  // advances to 1 — the parked producer's tick.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.submit(id, 0, block(d, 0));
+  producer.join();  // deadlocks here without the bypass re-check
+  service.drain();
+  EXPECT_EQ(service.latest_forecast(id).ticks_assimilated, 2u);
+  service.submit(id, 2, block(d, 2));
+  service.drain();
+  EXPECT_EQ(service.latest_forecast(id).ticks_assimilated, 5u);
+}
+
+TEST_F(ServiceTest, DebouncedAlertMatchesSerialRule) {
+  const std::vector<double> d = make_obs(17);
+
+  // Reference: the serial warning-center rule over an independent replay.
+  const StreamingEngine& eng = (*cached_)->engine();
+  StreamingAssimilator ref = eng.start();
+  double peak_final = 0.0;
+  for (double v : replay(d).forecast().mean)
+    peak_final = std::max(peak_final, v);
+  const AlertPolicy policy{.threshold = 0.5 * peak_final,
+                           .debounce_ticks = 2};
+  std::size_t expect_alert_tick = 0, streak = 0;
+  for (std::size_t t = 0; t < nt(); ++t) {
+    ref.push(t, block(d, t));
+    double peak = 0.0;
+    for (double v : ref.forecast().mean) peak = std::max(peak, v);
+    streak = peak > policy.threshold ? streak + 1 : 0;
+    if (expect_alert_tick == 0 && streak >= policy.debounce_ticks)
+      expect_alert_tick = t + 1;
+  }
+  ASSERT_GT(expect_alert_tick, 0u) << "event never crosses half its peak";
+
+  WarningService service({.num_workers = 4});
+  const EventId id = service.open_event(*cached_, policy);
+  for (std::size_t t = 0; t < nt(); ++t) service.submit(id, t, block(d, t));
+  service.drain();
+  const EventSnapshot got = service.close_event(id);
+  EXPECT_TRUE(got.alert);
+  EXPECT_EQ(got.alert_tick, expect_alert_tick);
+}
+
+TEST_F(ServiceTest, SnapshotBeforeDataIsThePrior) {
+  WarningService service({.num_workers = 4});
+  const EventId id = service.open_event(*cached_);
+  const EventSnapshot s = service.latest_forecast(id);
+  EXPECT_EQ(s.ticks_assimilated, 0u);
+  EXPECT_FALSE(s.complete);
+  EXPECT_FALSE(s.alert);
+  for (double v : s.forecast.mean) EXPECT_EQ(v, 0.0);
+  const auto prior_sd = (*cached_)->engine().stddev_after(0);
+  ASSERT_EQ(s.forecast.stddev.size(), prior_sd.size());
+  for (std::size_t i = 0; i < prior_sd.size(); ++i)
+    EXPECT_EQ(s.forecast.stddev[i], prior_sd[i]);
+  (void)service.close_event(id);
+}
+
+TEST_F(ServiceTest, TelemetryCountsAndPercentilesAreCoherent) {
+  WarningService service({.num_workers = 4});
+  constexpr unsigned kEvents = 3;
+  std::vector<EventId> ids;
+  for (unsigned e = 0; e < kEvents; ++e)
+    ids.push_back(service.open_event(*cached_));
+  std::vector<std::vector<double>> obs;
+  for (unsigned e = 0; e < kEvents; ++e) obs.push_back(make_obs(50 + e));
+  for (std::size_t t = 0; t < nt(); ++t)
+    for (unsigned e = 0; e < kEvents; ++e)
+      service.submit(ids[e], t, block(obs[e], t));
+  service.drain();
+  (void)service.close_event(ids[0]);
+
+  const TelemetrySnapshot telem = service.telemetry();
+  EXPECT_EQ(telem.events_opened, kEvents);
+  EXPECT_EQ(telem.events_closed, 1u);
+  EXPECT_EQ(telem.events_in_flight, kEvents - 1);
+  EXPECT_EQ(telem.ticks_assimilated, kEvents * nt());
+  EXPECT_EQ(telem.push_latency.count, kEvents * nt());
+  EXPECT_GT(telem.push_latency.p50, 0.0);
+  EXPECT_LE(telem.push_latency.p50, telem.push_latency.p95);
+  EXPECT_LE(telem.push_latency.p95, telem.push_latency.p99);
+  EXPECT_LE(telem.push_latency.p99, telem.push_latency.max);
+  EXPECT_GT(telem.ticks_per_second, 0.0);
+  EXPECT_FALSE(telem.str().empty());
+}
+
+TEST_F(ServiceTest, ServiceOptionValidation) {
+  EXPECT_THROW(WarningService({.num_workers = 0}), std::invalid_argument);
+  EXPECT_THROW(WarningService({.max_pending_per_event = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsunami

@@ -8,6 +8,7 @@
 
 #include "util/memory_tracker.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -61,6 +62,58 @@ TEST(TimerRegistry, PreservesInsertionOrder) {
   EXPECT_EQ(names[1], "Setup");
   EXPECT_EQ(names[2], "Adjoint p2o");
   EXPECT_EQ(names[3], "I/O");
+}
+
+// Concurrent sessions (src/service/) record into shared registries; the
+// registry must not corrupt under parallel adds. 8 threads x 1000 adds
+// across overlapping keys must land exactly.
+TEST(TimerRegistry, ConcurrentAddsAreAllCounted) {
+  TimerRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kAdds; ++i)
+        reg.add(t % 2 == 0 ? "even" : "odd", 0.001);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.count("even"), kThreads / 2 * kAdds);
+  EXPECT_EQ(reg.count("odd"), kThreads / 2 * kAdds);
+  EXPECT_NEAR(reg.grand_total(), kThreads * kAdds * 0.001, 1e-9);
+  EXPECT_EQ(reg.names().size(), 2u);
+}
+
+TEST(Stats, PercentileInterpolatesBetweenRanks) {
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0};  // sorted
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(s, 25.0), 1.75);
+  // The unsorted overload sorts a copy.
+  const std::vector<double> shuffled{3.0, 1.0, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(shuffled, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 99.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
+  EXPECT_THROW((void)percentile(s, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile(s, 100.5), std::invalid_argument);
+}
+
+TEST(Stats, LatencySummaryIsOrderedAndComplete) {
+  std::vector<double> sample;
+  for (int i = 100; i >= 1; --i) sample.push_back(i * 1e-6);
+  const LatencySummary s = summarize_latencies(sample);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean, 50.5e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(s.max, 100e-6);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_NEAR(s.p50, 50.5e-6, 1e-12);
+  const LatencySummary empty = summarize_latencies({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.max, 0.0);
 }
 
 TEST(ScopedTimer, RecordsOnDestruction) {
