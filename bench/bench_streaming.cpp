@@ -29,12 +29,14 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/digital_twin.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 int main() {
   using namespace tsunami;
+  namespace bu = tsunami::benchutil;
 
   TwinConfig config = TwinConfig::tiny();
   config.num_sensors = 8;
@@ -69,7 +71,7 @@ int main() {
 
   // Per-tick push latency: min over replays (the usual microbenchmark
   // discipline — scheduling noise only ever adds time).
-  const int replays = 7;
+  const int replays = bu::reps(7);
   std::vector<double> push_s(nt, 1e300);
   StreamingAssimilator assim = engine.start();
   for (int r = 0; r < replays; ++r) {
@@ -160,5 +162,25 @@ int main() {
               format_duration(push_total).c_str(),
               format_duration(trunc_total).c_str(), trunc_total / push_total,
               format_duration(full_total).c_str(), full_total / push_total);
+
+  // Machine-readable trajectory: per-tick push latency distribution (over
+  // all ticks' min-of-replays) plus the re-solve columns for the ratio.
+  bu::JsonReport report("streaming");
+  report.add("push",
+             {{"sensors", static_cast<double>(nd)},
+              {"ticks", static_cast<double>(nt)},
+              {"parameters", static_cast<double>(engine.parameter_dim())}},
+             bu::from_seconds(push_s));
+  report.add("truncated_solve",
+             {{"sensors", static_cast<double>(nd)},
+              {"ticks", static_cast<double>(nt)}},
+             bu::from_seconds(trunc_s));
+  report.add("full_resolve",
+             {{"sensors", static_cast<double>(nd)},
+              {"ticks", static_cast<double>(nt)}},
+             bu::from_seconds(full_s));
+  report.note("whole_event_push_s", push_total);
+  report.note("precompute_s", engine.precompute_seconds());
+  report.write();
   return 0;
 }

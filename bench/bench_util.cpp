@@ -1,0 +1,114 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace tsunami::benchutil {
+
+bool quick_mode() {
+  const char* v = std::getenv("TSUNAMI_BENCH_QUICK");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+int reps(int full_reps) { return quick_mode() ? 1 : full_reps; }
+
+Stat time_reps(int n, const std::function<void()>& fn) {
+  if (n < 1) n = 1;
+  if (n > 1) fn();  // warmup: first-touch allocation, icache, page faults
+  std::vector<double> seconds(static_cast<std::size_t>(n));
+  for (auto& s : seconds) {
+    Stopwatch w;
+    fn();
+    s = w.seconds();
+  }
+  return from_seconds(seconds);
+}
+
+Stat from_seconds(const std::vector<double>& seconds) {
+  Stat st;
+  st.reps = static_cast<int>(seconds.size());
+  if (seconds.empty()) return st;
+  st.median_ns = percentile(seconds, 50.0) * 1e9;
+  st.p10_ns = percentile(seconds, 10.0) * 1e9;
+  st.p90_ns = percentile(seconds, 90.0) * 1e9;
+  return st;
+}
+
+JsonReport::JsonReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+JsonReport::~JsonReport() {
+  if (!written_) write();
+}
+
+void JsonReport::add(const std::string& case_name,
+                     const std::vector<std::pair<std::string, double>>& shape,
+                     const Stat& stat) {
+  cases_.push_back(Case{case_name, shape, stat});
+}
+
+void JsonReport::note(const std::string& key, double value) {
+  notes_.emplace_back(key, value);
+}
+
+namespace {
+
+// %.17g round-trips doubles exactly and stays valid JSON (no NaN/Inf are
+// ever recorded by the benchmarks).
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string JsonReport::write() {
+  written_ = true;
+  std::string out = "{\n  \"bench\": \"" + name_ + "\",\n  \"quick\": ";
+  out += quick_mode() ? "true" : "false";
+  out += ",\n  \"cases\": [";
+  for (std::size_t i = 0; i < cases_.size(); ++i) {
+    const Case& c = cases_[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"name\": \"" + c.name + "\", \"shape\": {";
+    for (std::size_t j = 0; j < c.shape.size(); ++j) {
+      if (j) out += ", ";
+      out += "\"" + c.shape[j].first + "\": ";
+      append_number(out, c.shape[j].second);
+    }
+    out += "}, \"reps\": ";
+    append_number(out, c.stat.reps);
+    out += ", \"median_ns\": ";
+    append_number(out, c.stat.median_ns);
+    out += ", \"p10_ns\": ";
+    append_number(out, c.stat.p10_ns);
+    out += ", \"p90_ns\": ";
+    append_number(out, c.stat.p90_ns);
+    out += "}";
+  }
+  out += "\n  ],\n  \"notes\": {";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + notes_[i].first + "\": ";
+    append_number(out, notes_[i].second);
+  }
+  out += "}\n}\n";
+
+  const std::string file = "BENCH_" + name_ + ".json";
+  if (std::FILE* f = std::fopen(file.c_str(), "w")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("[bench_util] wrote %s (%zu cases)\n", file.c_str(),
+                cases_.size());
+  } else {
+    std::fprintf(stderr, "[bench_util] could not write %s\n", file.c_str());
+  }
+  return file;
+}
+
+}  // namespace tsunami::benchutil

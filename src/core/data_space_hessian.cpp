@@ -16,26 +16,23 @@ NoiseModel relative_noise(std::span<const double> d, double level) {
 }
 
 void apply_f_prior(const BlockToeplitz& f, const MaternPrior& prior,
-                   const Matrix& a_cols, Matrix& out_cols) {
+                   const Matrix& a_cols, Matrix& out_cols, Matrix& ga_scratch,
+                   ToeplitzWorkspace& ws) {
   const std::size_t n = f.input_dim();
   if (a_cols.rows() != n)
     throw std::invalid_argument("apply_f_prior: row mismatch");
-  const std::size_t nrhs = a_cols.cols();
-  const std::size_t nt = f.num_blocks();
-  const std::size_t nm = f.block_cols();
+  // Gamma_prior applied column-wise (block diagonal in time); the prior
+  // owns the per-thread contiguous-column staging, so the batched K-forming
+  // loop allocates nothing here after its first iteration.
+  prior.apply_time_blocks_columns(a_cols, ga_scratch, f.num_blocks());
+  f.apply_many(ga_scratch, out_cols, ws);
+}
 
-  // Gamma_prior applied column-wise (block diagonal in time). Work in a
-  // column-major scratch to keep each prior solve contiguous.
-  Matrix ga(n, nrhs);
-  parallel_for(nrhs, [&](std::size_t v) {
-    std::vector<double> col(n), out(n);
-    for (std::size_t i = 0; i < n; ++i) col[i] = a_cols(i, v);
-    for (std::size_t t = 0; t < nt; ++t)
-      prior.apply(std::span<const double>(col).subspan(t * nm, nm),
-                  std::span<double>(out).subspan(t * nm, nm));
-    for (std::size_t i = 0; i < n; ++i) ga(i, v) = out[i];
-  });
-  f.apply_many(ga, out_cols);
+void apply_f_prior(const BlockToeplitz& f, const MaternPrior& prior,
+                   const Matrix& a_cols, Matrix& out_cols) {
+  Matrix ga;
+  ToeplitzWorkspace ws;
+  apply_f_prior(f, prior, a_cols, out_cols, ga, ws);
 }
 
 DataSpaceHessian::DataSpaceHessian(const BlockToeplitz& f,
@@ -54,15 +51,23 @@ DataSpaceHessian::DataSpaceHessian(const BlockToeplitz& f,
   // vector e_(i,s) has the closed form (F^T e)_(j,:) = F_{i-j}[s,:] (j <= i),
   // read straight out of the Fourier-free transpose; we use the Toeplitz
   // transpose matvec for exactness and simplicity of batching.
+  // All batch scratch (unit columns, the two staging matrices, the Toeplitz
+  // workspace) is hoisted out of the loop: only the first iteration — or a
+  // smaller final remainder batch — allocates.
+  Matrix units;     // n x nb unit columns
+  Matrix ft_units;  // (Nm Nt) x nb
+  Matrix cols;      // n x nb
+  Matrix ga;        // (Nm Nt) x nb prior staging
+  ToeplitzWorkspace ws;
   std::size_t col0 = 0;
   while (col0 < n) {
     const std::size_t nb = std::min(batch, n - col0);
-    Matrix units(n, nb);
+    if (units.rows() != n || units.cols() != nb) units = Matrix(n, nb);
+    if (col0 > 0)
+      for (std::size_t v = 0; v < nb; ++v) units(col0 - nb + v, v) = 0.0;
     for (std::size_t v = 0; v < nb; ++v) units(col0 + v, v) = 1.0;
-    Matrix ft_units;                       // (Nm Nt) x nb
-    f.apply_transpose_many(units, ft_units);
-    Matrix cols;                           // n x nb
-    apply_f_prior(f, prior, ft_units, cols);
+    f.apply_transpose_many(units, ft_units, ws);
+    apply_f_prior(f, prior, ft_units, cols, ga, ws);
     for (std::size_t v = 0; v < nb; ++v)
       for (std::size_t i = 0; i < n; ++i) k_(i, col0 + v) = cols(i, v);
     col0 += nb;

@@ -76,8 +76,14 @@ class DataSpaceHessian {
 
 /// B = F Gamma_prior A for a tall matrix A given column-wise (space-time
 /// rows), batched: used for K columns, the V = F Gq* matrix of Phase 3, and
-/// posterior probing. `a_cols` has input_dim rows.
+/// posterior probing. `a_cols` has input_dim rows. The workspace overload
+/// reuses `ga_scratch` (the Gamma_prior A staging matrix) and the Toeplitz
+/// workspace across calls — the K-forming loop invokes this once per column
+/// batch and would otherwise reallocate both every iteration.
 void apply_f_prior(const BlockToeplitz& f, const MaternPrior& prior,
                    const Matrix& a_cols, Matrix& out_cols);
+void apply_f_prior(const BlockToeplitz& f, const MaternPrior& prior,
+                   const Matrix& a_cols, Matrix& out_cols, Matrix& ga_scratch,
+                   ToeplitzWorkspace& ws);
 
 }  // namespace tsunami

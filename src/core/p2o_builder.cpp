@@ -44,8 +44,14 @@ P2oMap build_p2o_map(const AcousticGravityModel& model,
     for (std::size_t s = 0; s < map.nrows; ++s)
       fill_rows(model, obs, grid, s, map, timers);
   }
+  // Fourier symbol construction: one batched r2c transform pass over every
+  // (row, col) entry sequence, with per-thread scratch inside the engine.
+  // Cheap next to the adjoint solves above, but worth a timer sample: it is
+  // the only non-PDE cost of Phase 1 and shows up in warm-start rebuilds.
+  Stopwatch symbol_watch;
   map.toeplitz = std::make_unique<BlockToeplitz>(
       map.nrows, map.ncols, map.nt, std::span<const double>(map.blocks));
+  if (timers) timers->add("p2o: FFT symbols", symbol_watch.seconds());
   return map;
 }
 

@@ -7,6 +7,17 @@
 
 namespace tsunami {
 
+namespace {
+
+/// Backs the workspace-less overloads: per-thread, so the legacy API stays
+/// allocation-free in steady state and safe under concurrent callers.
+Posterior::Workspace& tls_workspace() {
+  static thread_local Posterior::Workspace ws;
+  return ws;
+}
+
+}  // namespace
+
 Posterior::Posterior(const BlockToeplitz& f, const MaternPrior& prior,
                      const DataSpaceHessian& hessian)
     : f_(f), prior_(prior), hess_(hessian) {
@@ -16,11 +27,16 @@ Posterior::Posterior(const BlockToeplitz& f, const MaternPrior& prior,
     throw std::invalid_argument("Posterior: Hessian/data dim mismatch");
 }
 
+void Posterior::apply_gstar(std::span<const double> y, std::span<double> m,
+                            Workspace& ws) const {
+  ws.param_a.resize(parameter_dim());
+  f_.apply_transpose(y, std::span<double>(ws.param_a), ws.toeplitz);
+  prior_.apply_time_blocks(ws.param_a, m, time_dim());
+}
+
 void Posterior::apply_gstar(std::span<const double> y,
                             std::span<double> m) const {
-  std::vector<double> ft(parameter_dim());
-  f_.apply_transpose(y, std::span<double>(ft));
-  prior_.apply_time_blocks(ft, m, time_dim());
+  apply_gstar(y, m, tls_workspace());
 }
 
 void Posterior::apply_gstar_many(const Matrix& y_cols, Matrix& m_cols) const {
@@ -28,56 +44,74 @@ void Posterior::apply_gstar_many(const Matrix& y_cols, Matrix& m_cols) const {
     throw std::invalid_argument("Posterior::apply_gstar_many: row mismatch");
   Matrix ft_cols;  // parameter_dim x nrhs
   f_.apply_transpose_many(y_cols, ft_cols);
-  const std::size_t nrhs = y_cols.cols();
-  m_cols = Matrix(parameter_dim(), nrhs);
-  parallel_for_min(nrhs, 2, [&](std::size_t c) {
-    std::vector<double> in(parameter_dim()), out(parameter_dim());
-    for (std::size_t i = 0; i < in.size(); ++i) in[i] = ft_cols(i, c);
-    prior_.apply_time_blocks(in, std::span<double>(out), time_dim());
-    for (std::size_t i = 0; i < out.size(); ++i) m_cols(i, c) = out[i];
-  });
+  prior_.apply_time_blocks_columns(ft_cols, m_cols, time_dim());
 }
 
-void Posterior::apply_gstar_prefix(std::span<const double> y, std::size_t ticks,
-                                   std::span<double> m) const {
+void Posterior::apply_gstar_prefix(std::span<const double> y,
+                                   std::size_t ticks, std::span<double> m,
+                                   Workspace& ws) const {
   const std::size_t nd = f_.block_rows();
   if (ticks > time_dim() || y.size() < ticks * nd)
     throw std::invalid_argument("Posterior::apply_gstar_prefix: bad prefix");
   // Zero-padding the unseen intervals is exact: the missing rows of F
-  // contribute nothing to F^T y when their data weights are zero.
-  std::vector<double> padded(data_dim(), 0.0);
-  std::copy(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(ticks * nd),
-            padded.begin());
-  apply_gstar(padded, m);
+  // contribute nothing to F^T y when their data weights are zero. The
+  // Toeplitz prefix path pads inside the FFT pack — no padded copy here.
+  ws.param_a.resize(parameter_dim());
+  f_.apply_transpose_prefix(y.first(ticks * nd), ticks,
+                            std::span<double>(ws.param_a), ws.toeplitz);
+  prior_.apply_time_blocks(ws.param_a, m, time_dim());
+}
+
+void Posterior::apply_gstar_prefix(std::span<const double> y,
+                                   std::size_t ticks,
+                                   std::span<double> m) const {
+  apply_gstar_prefix(y, ticks, m, tls_workspace());
+}
+
+void Posterior::apply_g(std::span<const double> v, std::span<double> d,
+                        Workspace& ws) const {
+  ws.param_a.resize(parameter_dim());
+  prior_.apply_time_blocks(v, std::span<double>(ws.param_a), time_dim());
+  f_.apply(ws.param_a, d, ws.toeplitz);
 }
 
 void Posterior::apply_g(std::span<const double> v, std::span<double> d) const {
-  std::vector<double> gv(parameter_dim());
-  prior_.apply_time_blocks(v, std::span<double>(gv), time_dim());
-  f_.apply(gv, d);
+  apply_g(v, d, tls_workspace());
+}
+
+void Posterior::map_point(std::span<const double> d_obs, std::span<double> m,
+                          Workspace& ws) const {
+  if (d_obs.size() != data_dim() || m.size() != parameter_dim())
+    throw std::invalid_argument("Posterior::map_point: size mismatch");
+  ws.data_a.resize(data_dim());
+  hess_.solve(d_obs, std::span<double>(ws.data_a));
+  apply_gstar(ws.data_a, m, ws);
 }
 
 std::vector<double> Posterior::map_point(std::span<const double> d_obs) const {
-  std::vector<double> y(data_dim());
-  hess_.solve(d_obs, std::span<double>(y));
   std::vector<double> m(parameter_dim());
-  apply_gstar(y, std::span<double>(m));
+  map_point(d_obs, std::span<double>(m), tls_workspace());
   return m;
 }
 
 void Posterior::covariance_apply(std::span<const double> x,
-                                 std::span<double> y) const {
+                                 std::span<double> y, Workspace& ws) const {
   if (x.size() != parameter_dim() || y.size() != parameter_dim())
     throw std::invalid_argument("Posterior::covariance_apply: size mismatch");
   // y = Gamma_prior x - G* K^{-1} G x.
-  std::vector<double> gx(data_dim());
-  apply_g(x, std::span<double>(gx));
-  std::vector<double> kinv_gx(data_dim());
-  hess_.solve(gx, std::span<double>(kinv_gx));
-  std::vector<double> corr(parameter_dim());
-  apply_gstar(kinv_gx, std::span<double>(corr));
+  ws.data_a.resize(data_dim());
+  ws.data_b.resize(data_dim());
+  ws.param_b.resize(parameter_dim());
+  apply_g(x, std::span<double>(ws.data_a), ws);
+  hess_.solve(ws.data_a, std::span<double>(ws.data_b));
+  apply_gstar(ws.data_b, std::span<double>(ws.param_b), ws);
   prior_.apply_time_blocks(x, y, time_dim());
-  axpy(-1.0, corr, y);
+  axpy(-1.0, ws.param_b, y);
+}
+
+void Posterior::covariance_apply(std::span<const double> x,
+                                 std::span<double> y) const {
+  covariance_apply(x, y, tls_workspace());
 }
 
 double Posterior::pointwise_variance(std::size_t r, std::size_t t) const {

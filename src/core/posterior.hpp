@@ -20,6 +20,21 @@ namespace tsunami {
 
 class Posterior {
  public:
+  /// Reusable scratch for the apply/solve paths: the Toeplitz workspace plus
+  /// the parameter- and data-space staging vectors each method needs. Same
+  /// ownership rule as ToeplitzWorkspace: one caller thread at a time; after
+  /// the first call at a given shape no method that takes a workspace
+  /// allocates. The workspace-less overloads route through a thread_local
+  /// instance, so they too are allocation-free in steady state and safe
+  /// under concurrent callers.
+  struct Workspace {
+    ToeplitzWorkspace toeplitz;
+    std::vector<double> param_a;  ///< parameter_dim staging (F^T y / G v)
+    std::vector<double> param_b;  ///< parameter_dim staging (corrections)
+    std::vector<double> data_a;   ///< data_dim staging (K^{-1} rhs)
+    std::vector<double> data_b;   ///< data_dim staging
+  };
+
   Posterior(const BlockToeplitz& f, const MaternPrior& prior,
             const DataSpaceHessian& hessian);
 
@@ -30,6 +45,8 @@ class Posterior {
 
   /// G* y = Gamma_prior F^T y  (data space -> parameter space).
   void apply_gstar(std::span<const double> y, std::span<double> m) const;
+  void apply_gstar(std::span<const double> y, std::span<double> m,
+                   Workspace& ws) const;
 
   /// Multi-RHS G*: columns of `y_cols` (data_dim rows) mapped column-wise to
   /// `m_cols` (parameter_dim rows). Batches the Toeplitz transpose through
@@ -40,21 +57,31 @@ class Posterior {
   /// Prefix G*: treats `y` as the leading `ticks` observation intervals of a
   /// data-space vector (remaining intervals zero) and applies G*. This is
   /// exactly G restricted to the rows available at tick `ticks` — the
-  /// adjoint the truncated (streaming) posterior needs.
+  /// adjoint the truncated (streaming) posterior needs. The zero padding is
+  /// implicit in the FFT pack pass; no padded copy is built.
   void apply_gstar_prefix(std::span<const double> y, std::size_t ticks,
                           std::span<double> m) const;
+  void apply_gstar_prefix(std::span<const double> y, std::size_t ticks,
+                          std::span<double> m, Workspace& ws) const;
 
   /// G v = F Gamma_prior v  (parameter space -> data space).
   void apply_g(std::span<const double> v, std::span<double> d) const;
+  void apply_g(std::span<const double> v, std::span<double> d,
+               Workspace& ws) const;
 
   /// MAP point / posterior mean: m_map = G* K^{-1} d_obs.
   [[nodiscard]] std::vector<double> map_point(
       std::span<const double> d_obs) const;
+  /// In-place MAP point into `m` (parameter_dim), no allocation.
+  void map_point(std::span<const double> d_obs, std::span<double> m,
+                 Workspace& ws) const;
 
   /// y = Gamma_post x  (one "billion-parameter inverse solve" per call in
   /// the paper's phrasing; here two Toeplitz matvecs + prior solves + one
   /// Cholesky solve).
   void covariance_apply(std::span<const double> x, std::span<double> y) const;
+  void covariance_apply(std::span<const double> x, std::span<double> y,
+                        Workspace& ws) const;
 
   /// Pointwise posterior variance of parameter (spatial node r, interval t):
   /// (Gamma_post)_{(r,t),(r,t)} = (Gamma_prior)_rr - g^T K^{-1} g.

@@ -9,6 +9,32 @@
 
 namespace tsunami {
 
+namespace {
+
+/// out += slab[p0:p1, :]^T z[p0:p1] — the per-tick truncated-posterior
+/// accumulation. Column-tiled so the output tile stays in L1 across all
+/// block rows: the naive row-by-row axpy re-streams the whole output vector
+/// (Nm Nt doubles) once per sensor, which dominated push latency for the
+/// MAP slab. The slab rows themselves are read exactly once either way.
+void accumulate_block_rows(const Matrix& slab, const std::vector<double>& z,
+                           std::size_t p0, std::size_t p1,
+                           std::vector<double>& out) {
+  constexpr std::size_t kTile = 1024;  // 8 KB: half of a typical L1d
+  const std::size_t ncols = slab.cols();
+  const double* w = slab.data();
+  double* m = out.data();
+  for (std::size_t c0 = 0; c0 < ncols; c0 += kTile) {
+    const std::size_t c1 = std::min(c0 + kTile, ncols);
+    for (std::size_t j = p0; j < p1; ++j) {
+      const double zj = z[j];
+      const double* row = w + j * ncols;
+      for (std::size_t c = c0; c < c1; ++c) m[c] += zj * row[c];
+    }
+  }
+}
+
+}  // namespace
+
 StreamingEngine::StreamingEngine(const Posterior& posterior,
                                  const QoiPredictor& predictor,
                                  const StreamingOptions& options,
@@ -40,11 +66,12 @@ StreamingEngine::StreamingEngine(const Posterior& posterior,
   const Matrix& l = chol.factor();
   r_ = Matrix(n_, nqoi_);
   parallel_for_min(n_, 8, [&](std::size_t i) {
-    // r_(i, :) = sum_{j >= i} L(j, i) Q^T(j, :), all rows contiguous.
+    // r_(i, :) = sum_{j >= i} L(j, i) Q^T(j, :), all rows contiguous. The
+    // factor is dense below the diagonal — no per-entry zero test (the
+    // branch cost a compare per FMA and defeated vectorization).
     auto out = r_.row(i);
     for (std::size_t j = i; j < n_; ++j) {
       const double lji = l(j, i);
-      if (lji == 0.0) continue;
       const auto qrow = qt.row(j);
       for (std::size_t c = 0; c < nqoi_; ++c) out[c] += lji * qrow[c];
     }
@@ -138,23 +165,23 @@ void StreamingAssimilator::push(std::size_t tick,
   std::copy(d_block.begin(), d_block.end(), z_.begin() + p0);
   // Extend z = L^{-1} d by one block row (causality of forward substitution).
   eng_.post_.hessian().cholesky().forward_solve_range(z_, p0, p1);
-  // Accumulate the new block's contribution to the truncated posterior.
-  for (std::size_t j = p0; j < p1; ++j) {
-    axpy(z_[j], eng_.r_.row(j), std::span<double>(q_mean_));
-    if (eng_.tracks_map())
-      axpy(z_[j], eng_.wstar_.row(j), std::span<double>(m_map_));
-  }
+  // Accumulate the new block's contribution to the truncated posterior,
+  // column-tiled (one output sweep per tick, not one per sensor).
+  accumulate_block_rows(eng_.r_, z_, p0, p1, q_mean_);
+  if (eng_.tracks_map())
+    accumulate_block_rows(eng_.wstar_, z_, p0, p1, m_map_);
   ++t_;
   last_push_seconds_ = watch.seconds();
   total_push_seconds_ += last_push_seconds_;
 }
 
-Forecast StreamingAssimilator::forecast() const {
+void StreamingAssimilator::forecast_into(Forecast& fc) const {
   eng_.check_alive("StreamingAssimilator::forecast");
-  Forecast fc;
   fc.num_gauges = eng_.pred_.num_gauges();
   fc.num_times = eng_.pred_.num_times();
-  fc.mean = q_mean_;
+  // assign/resize reuse existing capacity: after the first call on a given
+  // Forecast this is copy-only — the per-tick publish path never allocates.
+  fc.mean.assign(q_mean_.begin(), q_mean_.end());
   const auto sd = eng_.stddev_after(t_);
   fc.stddev.assign(sd.begin(), sd.end());
   fc.lower95.resize(q_mean_.size());
@@ -163,6 +190,11 @@ Forecast StreamingAssimilator::forecast() const {
     fc.lower95[i] = fc.mean[i] - 1.96 * fc.stddev[i];
     fc.upper95[i] = fc.mean[i] + 1.96 * fc.stddev[i];
   }
+}
+
+Forecast StreamingAssimilator::forecast() const {
+  Forecast fc;
+  forecast_into(fc);
   return fc;
 }
 
@@ -179,11 +211,16 @@ std::vector<double> StreamingAssimilator::map_snapshot() const {
   const std::size_t p = t_ * eng_.block_size();
   // u = K_p^{-1} d_p: the forward half is already cached in z; finish with
   // the prefix backward substitution, then lift through G* on the prefix.
-  std::vector<double> u(z_.begin(),
-                        z_.begin() + static_cast<std::ptrdiff_t>(p));
-  eng_.post_.hessian().cholesky().backward_solve_prefix(u, p);
+  // Scratch lives in the per-event workspace (this object is single-caller
+  // by contract — the service hands a session to one worker at a time), so
+  // only the returned vector allocates.
+  snapshot_u_.resize(p);
+  std::copy(z_.begin(), z_.begin() + static_cast<std::ptrdiff_t>(p),
+            snapshot_u_.begin());
+  eng_.post_.hessian().cholesky().backward_solve_prefix(snapshot_u_, p);
   std::vector<double> m(eng_.parameter_dim(), 0.0);
-  if (p > 0) eng_.post_.apply_gstar_prefix(u, t_, std::span<double>(m));
+  if (p > 0)
+    eng_.post_.apply_gstar_prefix(snapshot_u_, t_, std::span<double>(m), ws_);
   return m;
 }
 

@@ -157,6 +157,11 @@ class StreamingAssimilator {
   /// vector (to roundoff).
   [[nodiscard]] Forecast forecast() const;
 
+  /// As forecast(), but writes into a caller-owned Forecast whose buffers
+  /// are reused — the per-tick publish path of the warning service, free of
+  /// allocation after the first call.
+  void forecast_into(Forecast& fc) const;
+
   /// Rolling posterior mean of the QoI (the raw accumulator behind
   /// forecast(); no allocation).
   [[nodiscard]] const std::vector<double>& qoi_mean() const { return q_mean_; }
@@ -182,6 +187,12 @@ class StreamingAssimilator {
   std::vector<double> z_;       ///< L^{-1} d prefix, extended causally
   std::vector<double> q_mean_;  ///< R[0:p,:]^T z[0:p]
   std::vector<double> m_map_;   ///< W*[0:p,:]^T z[0:p] (if tracked)
+  /// map_snapshot scratch: the prefix backward-substitution vector and the
+  /// Toeplitz/prior workspace for the prefix G* lift. mutable because the
+  /// snapshot is logically const; the assimilator is single-caller by
+  /// contract (one worker drains an event at a time), so no guard is needed.
+  mutable std::vector<double> snapshot_u_;
+  mutable Posterior::Workspace ws_;
   double last_push_seconds_ = 0.0;
   double total_push_seconds_ = 0.0;
 };

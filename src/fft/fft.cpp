@@ -1,5 +1,6 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -37,8 +38,15 @@ std::vector<Complex> make_twiddles(std::size_t n) {
   return tw;
 }
 
-// Radix-2 in-place with precomputed tables. `inverse` conjugates twiddles;
-// normalization is applied by the caller.
+// Iterative Cooley-Tukey with precomputed tables, fused stage pairs
+// ("radix-2^2"): after the bit-reversal permutation, stages (L, 2L) are
+// processed together — each 4-point group makes one trip through memory
+// instead of two, and the second-stage twiddle of the odd lane is -i times
+// that of the even lane (exactly, by the quarter-turn identity), which
+// replaces a table load + complex multiply with a swap/negate. `inverse`
+// conjugates twiddles; the flag is loop-invariant, so the compiler
+// unswitches the loops into branch-free forward/inverse specializations.
+// Normalization is applied by the caller.
 void radix2_core(std::span<Complex> a, const std::vector<std::size_t>& bitrev,
                  const std::vector<Complex>& twiddle, bool inverse) {
   const std::size_t n = a.size();
@@ -46,17 +54,54 @@ void radix2_core(std::span<Complex> a, const std::vector<std::size_t>& bitrev,
     const std::size_t j = bitrev[i];
     if (i < j) std::swap(a[i], a[j]);
   }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len >> 1;
-    const std::size_t stride = n / len;
-    for (std::size_t start = 0; start < n; start += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        Complex w = twiddle[k * stride];
-        if (inverse) w = std::conj(w);
-        const Complex u = a[start + k];
-        const Complex v = a[start + k + half] * w;
-        a[start + k] = u + v;
-        a[start + k + half] = u - v;
+  std::size_t stages = 0;
+  while ((std::size_t{1} << stages) < n) ++stages;
+  std::size_t len = 2;
+  if (stages % 2) {
+    // Odd stage count: one plain radix-2 stage (unit twiddles) first, so
+    // the remaining stages pair up.
+    for (std::size_t start = 0; start + 1 < n; start += 2) {
+      const Complex u = a[start];
+      const Complex v = a[start + 1];
+      a[start] = u + v;
+      a[start + 1] = u - v;
+    }
+    len = 4;
+  }
+  for (; len <= n; len <<= 2) {
+    const std::size_t quarter = len >> 1;      // k range of the fused pair
+    const std::size_t pair = len << 1;         // combined block size (2L)
+    const std::size_t stride1 = n / len;       // first-stage twiddle stride
+    const std::size_t stride2 = stride1 >> 1;  // second-stage twiddle stride
+    for (std::size_t start = 0; start < n; start += pair) {
+      for (std::size_t k = 0; k < quarter; ++k) {
+        Complex w1 = twiddle[k * stride1];
+        Complex w2 = twiddle[k * stride2];
+        if (inverse) {
+          w1 = std::conj(w1);
+          w2 = std::conj(w2);
+        }
+        // Quarter-turn identity: tw[k + n/4] = -i tw[k] (conjugated: +i).
+        const Complex w2o = inverse ? Complex(-w2.imag(), w2.real())
+                                    : Complex(w2.imag(), -w2.real());
+        Complex* p0 = &a[start + k];
+        Complex* p1 = p0 + quarter;
+        Complex* p2 = p0 + len;
+        Complex* p3 = p2 + quarter;
+        // Stage L on both halves of the 2L block...
+        const Complex t1 = *p1 * w1;
+        const Complex t3 = *p3 * w1;
+        const Complex b0 = *p0 + t1;
+        const Complex b1 = *p0 - t1;
+        const Complex b2 = *p2 + t3;
+        const Complex b3 = *p2 - t3;
+        // ...then stage 2L across them, all still in registers.
+        const Complex u2 = b2 * w2;
+        const Complex u3 = b3 * w2o;
+        *p0 = b0 + u2;
+        *p2 = b0 - u2;
+        *p1 = b1 + u3;
+        *p3 = b1 - u3;
       }
     }
   }
@@ -100,18 +145,20 @@ void FftPlan::radix2(std::span<Complex> data, bool inverse) const {
   }
 }
 
-void FftPlan::bluestein(std::span<Complex> data, bool inverse) const {
+void FftPlan::bluestein(std::span<Complex> data, bool inverse,
+                        std::span<Complex> scratch) const {
   // Inverse via conjugation: ifft(x) = conj(fft(conj(x))) / n.
-  std::vector<Complex> a(m_, Complex(0.0, 0.0));
+  Complex* a = scratch.data();
   if (inverse) {
     for (std::size_t k = 0; k < n_; ++k)
       a[k] = std::conj(data[k]) * chirp_[k];
   } else {
     for (std::size_t k = 0; k < n_; ++k) a[k] = data[k] * chirp_[k];
   }
-  radix2_core(std::span<Complex>(a), m_bitrev_, m_twiddle_, false);
+  std::fill(a + n_, a + m_, Complex(0.0, 0.0));
+  radix2_core(std::span<Complex>(a, m_), m_bitrev_, m_twiddle_, false);
   for (std::size_t k = 0; k < m_; ++k) a[k] *= chirp_fft_[k];
-  radix2_core(std::span<Complex>(a), m_bitrev_, m_twiddle_, true);
+  radix2_core(std::span<Complex>(a, m_), m_bitrev_, m_twiddle_, true);
   const double inv_m = 1.0 / static_cast<double>(m_);
   if (inverse) {
     const double inv_n = 1.0 / static_cast<double>(n_);
@@ -122,38 +169,279 @@ void FftPlan::bluestein(std::span<Complex> data, bool inverse) const {
   }
 }
 
-void FftPlan::forward(std::span<Complex> data) const {
+void FftPlan::execute(std::span<Complex> data, bool inverse,
+                      std::span<Complex> scratch) const {
   if (data.size() != n_) throw std::invalid_argument("FftPlan: length mismatch");
-  if (pow2_)
-    radix2(data, false);
-  else
-    bluestein(data, false);
+  if (pow2_) {
+    radix2(data, inverse);
+    return;
+  }
+  if (scratch.size() < m_)
+    throw std::invalid_argument("FftPlan: scratch too small");
+  bluestein(data, inverse, scratch);
+}
+
+void FftPlan::forward(std::span<Complex> data) const {
+  if (pow2_) {
+    execute(data, false, {});
+    return;
+  }
+  std::vector<Complex> scratch(m_);
+  execute(data, false, std::span<Complex>(scratch));
+}
+
+void FftPlan::forward(std::span<Complex> data,
+                      std::span<Complex> scratch) const {
+  execute(data, false, scratch);
 }
 
 void FftPlan::inverse(std::span<Complex> data) const {
-  if (data.size() != n_) throw std::invalid_argument("FftPlan: length mismatch");
-  if (pow2_)
-    radix2(data, true);
-  else
-    bluestein(data, true);
+  if (pow2_) {
+    execute(data, true, {});
+    return;
+  }
+  std::vector<Complex> scratch(m_);
+  execute(data, true, std::span<Complex>(scratch));
+}
+
+void FftPlan::inverse(std::span<Complex> data,
+                      std::span<Complex> scratch) const {
+  execute(data, true, scratch);
+}
+
+void FftPlan::batch_execute(std::span<Complex> data, std::size_t batch,
+                            bool inverse) const {
+  if (data.size() != n_ * batch)
+    throw std::invalid_argument("FftPlan: batch size mismatch");
+  Complex* p = data.data();
+  const std::size_t scr = scratch_size();
+  if (scr == 0) {
+    parallel_for_min(batch, 2, [&](std::size_t b) {
+      execute(std::span<Complex>(p + b * n_, n_), inverse, {});
+    });
+    return;
+  }
+  // One scratch slab per thread, reused across the whole batch — the plan's
+  // tables are shared and read-only, so the slab is the only per-thread state.
+  const std::size_t nthreads =
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads()),
+                            std::max<std::size_t>(batch, 1));
+  std::vector<Complex> scratch(nthreads * scr);
+  parallel_for_min(batch, 2, [&](std::size_t b) {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num()) % nthreads;
+    execute(std::span<Complex>(p + b * n_, n_), inverse,
+            std::span<Complex>(scratch.data() + tid * scr, scr));
+  });
 }
 
 void FftPlan::forward_batch(std::span<Complex> data, std::size_t batch) const {
-  if (data.size() != n_ * batch)
-    throw std::invalid_argument("FftPlan: batch size mismatch");
-  Complex* p = data.data();
-  parallel_for_min(batch, 2, [&](std::size_t b) {
-    forward(std::span<Complex>(p + b * n_, n_));
-  });
+  batch_execute(data, batch, false);
 }
 
 void FftPlan::inverse_batch(std::span<Complex> data, std::size_t batch) const {
-  if (data.size() != n_ * batch)
-    throw std::invalid_argument("FftPlan: batch size mismatch");
-  Complex* p = data.data();
-  parallel_for_min(batch, 2, [&](std::size_t b) {
-    inverse(std::span<Complex>(p + b * n_, n_));
-  });
+  batch_execute(data, batch, true);
+}
+
+// ---------------------------------------------------------------------------
+// Real-input transforms.
+// ---------------------------------------------------------------------------
+
+RealFftPlan::RealFftPlan(std::size_t length)
+    : n_(length), half_((length == 0 || length % 2) ? 1 : length / 2) {
+  if (n_ == 0 || n_ % 2)
+    throw std::invalid_argument(
+        "RealFftPlan: length must be even and nonzero (use fft_real_pair for "
+        "odd lengths)");
+  untangle_.resize(n_ / 2 + 1);
+  for (std::size_t k = 0; k <= n_ / 2; ++k) {
+    const double ang = -2.0 * kPi * static_cast<double>(k) /
+                       static_cast<double>(n_);
+    untangle_[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+}
+
+void RealFftPlan::forward(std::span<const double> x,
+                          std::span<Complex> spectrum,
+                          std::span<Complex> scratch) const {
+  if (x.size() > n_)
+    throw std::invalid_argument("RealFftPlan::forward: signal too long");
+  forward_strided(x.data(), 1, x.size(), spectrum, scratch);
+}
+
+void RealFftPlan::forward_strided(const double* x, std::size_t stride,
+                                  std::size_t nsamples,
+                                  std::span<Complex> spectrum,
+                                  std::span<Complex> scratch) const {
+  if (spectrum.size() < spectrum_size())
+    throw std::invalid_argument("RealFftPlan: buffer too small");
+  // std::complex<double> is layout-compatible with double[2]: the AoS
+  // spectrum is the split writer with interleave stride 2.
+  auto* planes = reinterpret_cast<double*>(spectrum.data());
+  forward_strided_split(x, stride, nsamples, planes, planes + 1, 2, scratch);
+}
+
+void RealFftPlan::forward_strided_split(const double* x, std::size_t xstride,
+                                        std::size_t nsamples, double* re,
+                                        double* im, std::size_t sstride,
+                                        std::span<Complex> scratch) const {
+  const std::size_t nh = n_ / 2;
+  if (nsamples > n_)
+    throw std::invalid_argument("RealFftPlan: too many samples");
+  if (scratch.size() < scratch_size())
+    throw std::invalid_argument("RealFftPlan: buffer too small");
+  Complex* z = scratch.data();
+  // Pack: z_k = x_{2k} + i x_{2k+1}, zero-padding past nsamples. The strided
+  // gather is fused into the pack so channel slabs need no staging copy.
+  const std::size_t full = nsamples / 2;  // pairs with both samples present
+  for (std::size_t k = 0; k < full; ++k)
+    z[k] = Complex(x[(2 * k) * xstride], x[(2 * k + 1) * xstride]);
+  if (full < nh) {
+    z[full] = (nsamples % 2) ? Complex(x[(2 * full) * xstride], 0.0)
+                             : Complex(0.0, 0.0);
+    std::fill(z + full + 1, z + nh, Complex(0.0, 0.0));
+  }
+  half_.forward(std::span<Complex>(z, nh),
+                scratch.subspan(nh, half_.scratch_size()));
+  // Untangle straight into the destination planes: with E/O the spectra of
+  // the even/odd subsequences, X_k = E_k + w_k O_k, w_k = exp(-2 pi i k / n).
+  // Bins k and nh-k share their inputs, so one traversal of the first half
+  // emits both ends (no second sweep, no AoS staging).
+  {
+    // k = 0 and k = nh (Z_0 both times).
+    const Complex z0 = z[0];
+    re[0] = z0.real() + z0.imag();
+    im[0] = 0.0;
+    re[nh * sstride] = z0.real() - z0.imag();
+    im[nh * sstride] = 0.0;
+  }
+  for (std::size_t k = 1; 2 * k <= nh; ++k) {
+    const std::size_t kn = nh - k;
+    const Complex zk = z[k];
+    const Complex zkn = z[kn];
+    // Pair (k, kn): E_k = conj(E_kn) etc., so both bins come from {zk, zkn}.
+    const Complex e_k = 0.5 * (zk + std::conj(zkn));
+    const Complex o_k = Complex(0.0, -0.5) * (zk - std::conj(zkn));
+    const Complex xk = e_k + untangle_[k] * o_k;
+    re[k * sstride] = xk.real();
+    im[k * sstride] = xk.imag();
+    if (kn != k) {
+      const Complex e_kn = std::conj(e_k);
+      const Complex o_kn = std::conj(o_k);
+      const Complex xkn = e_kn + untangle_[kn] * o_kn;
+      re[kn * sstride] = xkn.real();
+      im[kn * sstride] = xkn.imag();
+    }
+  }
+}
+
+void RealFftPlan::inverse(std::span<const Complex> spectrum,
+                          std::span<double> x,
+                          std::span<Complex> scratch) const {
+  if (x.size() > n_)
+    throw std::invalid_argument("RealFftPlan::inverse: output too long");
+  inverse_strided(spectrum, x.data(), 1, x.size(), scratch);
+}
+
+void RealFftPlan::inverse_strided(std::span<const Complex> spectrum, double* x,
+                                  std::size_t stride, std::size_t nsamples,
+                                  std::span<Complex> scratch) const {
+  if (spectrum.size() < spectrum_size())
+    throw std::invalid_argument("RealFftPlan: buffer too small");
+  const auto* planes = reinterpret_cast<const double*>(spectrum.data());
+  inverse_strided_split(planes, planes + 1, 2, x, stride, nsamples, scratch);
+}
+
+void RealFftPlan::inverse_strided_split(const double* re, const double* im,
+                                        std::size_t sstride, double* x,
+                                        std::size_t xstride,
+                                        std::size_t nsamples,
+                                        std::span<Complex> scratch) const {
+  const std::size_t nh = n_ / 2;
+  if (nsamples > n_)
+    throw std::invalid_argument("RealFftPlan: too many samples");
+  if (scratch.size() < scratch_size())
+    throw std::invalid_argument("RealFftPlan: buffer too small");
+  Complex* z = scratch.data();
+  // Re-tangle: E_k = (X_k + conj(X_{N-k}))/2, w_k O_k = (X_k - conj(X_{N-k}))/2,
+  // Z_k = E_k + i O_k (N = n/2); exact inverse of the forward untangle. Z is
+  // conj-symmetric in pairs (Z_{N-k} = conj(E_k) + i conj(O_k)), so one
+  // traversal of the first half fills both ends, reading the split planes
+  // once.
+  {
+    // Bins 0 and N are structurally real (as documented): their stored
+    // imaginary parts are ignored.
+    const Complex a(re[0], 0.0);
+    const Complex b(re[nh * sstride], 0.0);
+    z[0] = 0.5 * (a + b) + Complex(0.0, 1.0) * (0.5 * (a - b));
+  }
+  for (std::size_t k = 1; 2 * k <= nh; ++k) {
+    const std::size_t kn = nh - k;
+    const Complex a(re[k * sstride], im[k * sstride]);
+    const Complex b(re[kn * sstride], -im[kn * sstride]);
+    const Complex e = 0.5 * (a + b);
+    const Complex o = std::conj(untangle_[k]) * (0.5 * (a - b));
+    z[k] = e + Complex(0.0, 1.0) * o;
+    if (kn != k) z[kn] = std::conj(e) + Complex(0.0, 1.0) * std::conj(o);
+  }
+  half_.inverse(std::span<Complex>(z, nh),
+                scratch.subspan(nh, half_.scratch_size()));
+  // Unpack x_{2k} = Re z_k, x_{2k+1} = Im z_k; scatter with the caller's
+  // stride, emitting only the requested time prefix.
+  const std::size_t full = nsamples / 2;
+  for (std::size_t k = 0; k < full; ++k) {
+    x[(2 * k) * xstride] = z[k].real();
+    x[(2 * k + 1) * xstride] = z[k].imag();
+  }
+  if (nsamples % 2) x[(2 * full) * xstride] = z[full].real();
+}
+
+void fft_real_pair(const FftPlan& plan, std::span<const double> a,
+                   std::span<const double> b, std::span<Complex> ahat,
+                   std::span<Complex> bhat, std::span<Complex> scratch) {
+  const std::size_t n = plan.length();
+  const std::size_t nspec = n / 2 + 1;
+  if (a.size() != n || b.size() != n)
+    throw std::invalid_argument("fft_real_pair: signal length mismatch");
+  if (ahat.size() < nspec || bhat.size() < nspec ||
+      scratch.size() < n + plan.scratch_size())
+    throw std::invalid_argument("fft_real_pair: buffer too small");
+  Complex* z = scratch.data();
+  for (std::size_t j = 0; j < n; ++j) z[j] = Complex(a[j], b[j]);
+  plan.forward(std::span<Complex>(z, n),
+               scratch.subspan(n, plan.scratch_size()));
+  // Split by conjugate symmetry: A_k = (Z_k + conj(Z_{n-k}))/2,
+  // B_k = -i (Z_k - conj(Z_{n-k}))/2.
+  for (std::size_t k = 0; k < nspec; ++k) {
+    const Complex zk = z[k];
+    const Complex znk = std::conj(z[(n - k) % n]);
+    ahat[k] = 0.5 * (zk + znk);
+    bhat[k] = Complex(0.0, -0.5) * (zk - znk);
+  }
+}
+
+void ifft_real_pair(const FftPlan& plan, std::span<const Complex> ahat,
+                    std::span<const Complex> bhat, std::span<double> a,
+                    std::span<double> b, std::span<Complex> scratch) {
+  const std::size_t n = plan.length();
+  const std::size_t nspec = n / 2 + 1;
+  if (a.size() != n || b.size() != n)
+    throw std::invalid_argument("ifft_real_pair: signal length mismatch");
+  if (ahat.size() < nspec || bhat.size() < nspec ||
+      scratch.size() < n + plan.scratch_size())
+    throw std::invalid_argument("ifft_real_pair: buffer too small");
+  Complex* z = scratch.data();
+  const Complex i_unit(0.0, 1.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex ak = k < nspec ? ahat[k] : std::conj(ahat[n - k]);
+    const Complex bk = k < nspec ? bhat[k] : std::conj(bhat[n - k]);
+    z[k] = ak + i_unit * bk;
+  }
+  plan.inverse(std::span<Complex>(z, n),
+               scratch.subspan(n, plan.scratch_size()));
+  for (std::size_t j = 0; j < n; ++j) {
+    a[j] = z[j].real();
+    b[j] = z[j].imag();
+  }
 }
 
 void fft(std::vector<Complex>& data) {

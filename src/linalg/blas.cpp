@@ -27,7 +27,14 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y) {
 }
 
 void scal(double alpha, std::span<double> x) {
-  for (auto& v : x) v *= alpha;
+  const std::size_t n = x.size();
+  if (n < kParallelThreshold) {
+    for (auto& v : x) v *= alpha;
+  } else {
+    double* xp = x.data();
+#pragma omp parallel for schedule(static)
+    for (long long i = 0; i < static_cast<long long>(n); ++i) xp[i] *= alpha;
+  }
 }
 
 double dot(std::span<const double> x, std::span<const double> y) {
@@ -46,9 +53,14 @@ double dot(std::span<const double> x, std::span<const double> y) {
 double nrm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
 
 double amax(std::span<const double> x) {
-  double m = 0.0;
-  for (double v : x) m = std::max(m, std::abs(v));
-  return m;
+  const std::size_t n = x.size();
+  if (n < kParallelThreshold) {
+    double m = 0.0;
+    for (double v : x) m = std::max(m, std::abs(v));
+    return m;
+  }
+  const double* xp = x.data();
+  return parallel_reduce_max(n, [&](std::size_t i) { return std::abs(xp[i]); });
 }
 
 void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) {

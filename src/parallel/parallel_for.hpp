@@ -46,4 +46,17 @@ double parallel_reduce_sum(std::size_t n, const F& f) {
   return sum;
 }
 
+/// Parallel max-reduction of `f(i)` over [0, n); 0.0 for an empty range
+/// (matching the amax convention: magnitudes are non-negative).
+template <typename F>
+double parallel_reduce_max(std::size_t n, const F& f) {
+  double m = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : m)
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    const double v = f(static_cast<std::size_t>(i));
+    if (v > m) m = v;
+  }
+  return m;
+}
+
 }  // namespace tsunami

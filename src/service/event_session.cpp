@@ -112,11 +112,11 @@ void EventSession::assimilate(const Block& block,
   assim_.push(block.tick, block.data);
   telemetry.on_push(assim_.last_push_seconds());
 
-  Forecast fc = assim_.forecast();
+  assim_.forecast_into(staging_forecast_);
   bool latch = false;
   if (alert_.threshold > 0.0 && !alert_latched_) {
     double peak = 0.0;
-    for (double v : fc.mean) peak = std::max(peak, v);
+    for (double v : staging_forecast_.mean) peak = std::max(peak, v);
     above_threshold_streak_ =
         peak > alert_.threshold ? above_threshold_streak_ + 1 : 0;
     latch = above_threshold_streak_ >= alert_.debounce_ticks;
@@ -128,7 +128,9 @@ void EventSession::assimilate(const Block& block,
     alert_latched_ = true;
     alert_tick_ = ticks_assimilated_;
   }
-  latest_forecast_ = std::move(fc);
+  // Swap, don't move: the retired snapshot's buffers become next tick's
+  // staging capacity, so publishing is allocation-free in steady state.
+  std::swap(latest_forecast_, staging_forecast_);
 }
 
 void EventSession::begin_close() {

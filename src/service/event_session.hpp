@@ -135,9 +135,14 @@ class EventSession {
   const std::size_t max_pending_;
   const BackpressurePolicy policy_;
 
-  // Assimilator + alert streak: touched only by the owning worker.
+  // Assimilator + alert streak + forecast staging: touched only by the
+  // owning worker (one at a time, enforced by the scheduled_ handoff). The
+  // staging Forecast is filled via forecast_into and swapped with the
+  // published snapshot under snapshot_mutex_, so the per-tick publish path
+  // reuses both buffers and never allocates in steady state.
   StreamingAssimilator assim_;
   std::size_t above_threshold_streak_ = 0;
+  Forecast staging_forecast_;
 
   // Ingest queue + scheduling state, guarded by state_mutex_.
   mutable std::mutex state_mutex_;

@@ -10,13 +10,21 @@
 //           F_{Nt-1} ... F_1  F_0 ],   F_k in R^{rows x cols},
 // is embedded in a block circulant of period L >= 2 Nt - 1 which the DFT
 // block-diagonalizes: applying T to a time-major vector x reduces to
-//   (i)  batched length-L FFTs of the cols input channels,
+//   (i)  batched length-L REAL-input FFTs of the cols input channels
+//        (r2c via the half-length packing trick — the inputs are real, so a
+//        full complex transform would waste 2x flops/bandwidth),
 //   (ii) an independent (rows x cols) complex matvec per frequency — the
-//        cuBLAS-batched kernel of the paper; here an OpenMP loop,
-//   (iii) batched inverse FFTs of the rows output channels.
+//        cuBLAS-batched kernel of the paper; here a cache-blocked
+//        split-complex micro-kernel under an OpenMP loop,
+//   (iii) batched inverse real-output FFTs of the rows output channels.
 // The transpose (block UPPER triangular Toeplitz, cyclic correlation) uses
 // the conjugate spectrum, no extra storage. Real-input symmetry means only
 // L/2 + 1 frequencies are kept.
+//
+// Frequency-domain data lives in SPLIT-COMPLEX layout — separate real and
+// imaginary planes, frequency-major — so the per-frequency block GEMM is
+// four unit-stride real FMA streams the compiler vectorizes, instead of
+// interleaved std::complex AoS.
 //
 // Cost per matvec: O((rows + cols) L log L + L rows cols) versus a pair of
 // PDE solves for the same Hessian action — the source of the paper's
@@ -32,10 +40,33 @@
 
 namespace tsunami {
 
+/// Reusable scratch for BlockToeplitz apply paths: the split-complex
+/// frequency slabs plus per-OpenMP-thread FFT scratch. Buffers grow on
+/// demand and never shrink, so after the first call at a given shape no
+/// apply allocates. One workspace serves operators of any shape (it resizes
+/// to the largest seen).
+///
+/// Ownership rule: a workspace belongs to ONE caller thread at a time.
+/// Concurrent applies (e.g. service workers draining different events) must
+/// each hold their own workspace; the operator itself is immutable and
+/// freely shared. The workspace-less apply overloads use a thread_local
+/// workspace internally, so they are both allocation-free in steady state
+/// and safe to call from any number of threads.
+class ToeplitzWorkspace {
+ public:
+  ToeplitzWorkspace() = default;
+
+ private:
+  friend class BlockToeplitz;
+  std::vector<double> xhat_re_, xhat_im_;  ///< input slab, [(w*nchan+c)*nrhs+v]
+  std::vector<double> yhat_re_, yhat_im_;  ///< output slab, same layout
+  std::vector<Complex> fft_;               ///< per-thread: real-plan scratch
+};
+
 class BlockToeplitz {
  public:
   /// `blocks` holds F_k row-major, k-major: blocks[(k*rows + r)*cols + c].
-  /// Keeps only the Fourier representation (half spectrum).
+  /// Keeps only the Fourier representation (half spectrum, split-complex).
   BlockToeplitz(std::size_t rows, std::size_t cols, std::size_t nblocks,
                 std::span<const double> blocks);
 
@@ -48,19 +79,38 @@ class BlockToeplitz {
 
   /// y = T x; x time-major (nt blocks of cols), y time-major (nt x rows).
   void apply(std::span<const double> x, std::span<double> y) const;
+  void apply(std::span<const double> x, std::span<double> y,
+             ToeplitzWorkspace& ws) const;
 
   /// y = T^T x; x time-major (nt x rows), y time-major (nt x cols).
   void apply_transpose(std::span<const double> x, std::span<double> y) const;
+  void apply_transpose(std::span<const double> x, std::span<double> y,
+                       ToeplitzWorkspace& ws) const;
+
+  /// y = T^T [x; 0]: x holds only the first `ticks` time blocks (ticks*rows
+  /// values); the remaining blocks are implicitly zero. Exactly equal to
+  /// zero-padding x to output_dim() and calling apply_transpose, but the
+  /// padded copy is never materialized — the FFT pack pass zero-fills
+  /// directly. This is the adjoint the streaming (truncated-posterior) path
+  /// needs at every tick.
+  void apply_transpose_prefix(std::span<const double> x, std::size_t ticks,
+                              std::span<double> y,
+                              ToeplitzWorkspace& ws) const;
 
   /// Multi-RHS versions: columns of X are independent vectors. The
-  /// per-frequency kernel becomes a complex GEMM (the batched-BLAS path).
+  /// per-frequency kernel becomes a split-complex GEMM (the batched-BLAS
+  /// path). y_cols is resized only if its shape differs.
   void apply_many(const Matrix& x_cols, Matrix& y_cols) const;
+  void apply_many(const Matrix& x_cols, Matrix& y_cols,
+                  ToeplitzWorkspace& ws) const;
   void apply_transpose_many(const Matrix& x_cols, Matrix& y_cols) const;
+  void apply_transpose_many(const Matrix& x_cols, Matrix& y_cols,
+                            ToeplitzWorkspace& ws) const;
 
   /// Fourier-domain storage footprint (the paper's O(Nm Nd Nt) compact
   /// representation; here 2x for the half-complex spectrum).
   [[nodiscard]] std::size_t storage_bytes() const {
-    return fhat_.size() * sizeof(Complex);
+    return (fhat_re_.size() + fhat_im_.size()) * sizeof(double);
   }
 
   /// O(nt^2 rows cols) dense reference used by tests and the "conventional"
@@ -71,17 +121,27 @@ class BlockToeplitz {
   void set_keep_blocks(std::span<const double> blocks);
 
  private:
-  void forward_channels(std::span<const double> x, std::size_t nchan,
-                        std::size_t nrhs, std::vector<Complex>& xhat) const;
-  void inverse_channels(const std::vector<Complex>& yhat, std::size_t nchan,
-                        std::size_t nrhs, std::span<double> y) const;
+  /// Strided real-input FFTs of `nchan * nrhs` interleaved channels into the
+  /// split-complex slab; reads `in_ticks` time blocks (zero-pads the rest).
+  void forward_channels(const double* x, std::size_t nchan, std::size_t nrhs,
+                        std::size_t in_ticks, ToeplitzWorkspace& ws) const;
+  /// Inverse real-output FFTs of the yhat slab back into time-major y.
+  void inverse_channels(std::size_t nchan, std::size_t nrhs,
+                        std::span<double> y, ToeplitzWorkspace& ws) const;
+  /// Grows the per-thread FFT scratch in `ws` for the current plan.
+  std::size_t prepare_thread_scratch(ToeplitzWorkspace& ws) const;
+
+  void apply_impl(const double* x, double* y, std::size_t nrhs,
+                  std::size_t in_ticks, bool transpose,
+                  ToeplitzWorkspace& ws) const;
 
   std::size_t rows_, cols_, nt_;
   std::size_t fft_len_;   ///< L = next_pow2(2 nt)
   std::size_t nfreq_;     ///< L/2 + 1
-  FftPlan plan_;
-  /// fhat_[(w * rows + r) * cols + c]: block spectra, frequency-major.
-  std::vector<Complex> fhat_;
+  RealFftPlan plan_;
+  /// Split-complex block spectra, frequency-major:
+  /// fhat_re_[(w * rows + r) * cols + c] (imaginary plane likewise).
+  std::vector<double> fhat_re_, fhat_im_;
   std::vector<double> blocks_;  ///< optional time-domain copy (tests)
 };
 

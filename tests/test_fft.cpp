@@ -186,6 +186,191 @@ TEST(FftConvolve, DeltaIsIdentity) {
   for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(y[i], x[i], 1e-12);
 }
 
+// ---------------------------------------------------------------------------
+// Real-input transforms: the r2c/c2r packing path (even lengths, used by the
+// Toeplitz engine) and the two-reals-in-one-FFT pair trick (any length,
+// including Bluestein sizes).
+// ---------------------------------------------------------------------------
+
+class RealFftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealFftSizeTest, ForwardMatchesComplexFftOfRealSignal) {
+  const std::size_t n = GetParam();
+  Rng rng(static_cast<unsigned>(n) + 40);
+  const auto x = rng.normal_vector(n);
+  std::vector<Complex> full(n);
+  for (std::size_t i = 0; i < n; ++i) full[i] = Complex(x[i], 0.0);
+  FftPlan(n).forward(std::span<Complex>(full));
+
+  RealFftPlan plan(n);
+  ASSERT_EQ(plan.spectrum_size(), n / 2 + 1);
+  std::vector<Complex> spec(plan.spectrum_size());
+  std::vector<Complex> scratch(plan.scratch_size());
+  plan.forward(x, std::span<Complex>(spec), std::span<Complex>(scratch));
+  for (std::size_t k = 0; k <= n / 2; ++k)
+    EXPECT_LT(std::abs(spec[k] - full[k]), 1e-10 * static_cast<double>(n))
+        << "bin " << k;
+}
+
+TEST_P(RealFftSizeTest, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  Rng rng(static_cast<unsigned>(n) + 41);
+  const auto x = rng.normal_vector(n);
+  RealFftPlan plan(n);
+  std::vector<Complex> spec(plan.spectrum_size());
+  std::vector<Complex> scratch(plan.scratch_size());
+  plan.forward(x, std::span<Complex>(spec), std::span<Complex>(scratch));
+  std::vector<double> back(n);
+  plan.inverse(spec, std::span<double>(back), std::span<Complex>(scratch));
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(back[i], x[i], 1e-11 * static_cast<double>(n));
+}
+
+TEST_P(RealFftSizeTest, ZeroPaddedShortSignalMatchesExplicitPadding) {
+  const std::size_t n = GetParam();
+  const std::size_t nshort = n / 2 + 1 > n ? n : n / 2 + 1;
+  Rng rng(static_cast<unsigned>(n) + 42);
+  const auto x = rng.normal_vector(nshort);
+  std::vector<double> padded(n, 0.0);
+  std::copy(x.begin(), x.end(), padded.begin());
+
+  RealFftPlan plan(n);
+  std::vector<Complex> spec_short(plan.spectrum_size());
+  std::vector<Complex> spec_pad(plan.spectrum_size());
+  std::vector<Complex> scratch(plan.scratch_size());
+  plan.forward(x, std::span<Complex>(spec_short),
+               std::span<Complex>(scratch));
+  plan.forward(padded, std::span<Complex>(spec_pad),
+               std::span<Complex>(scratch));
+  for (std::size_t k = 0; k < spec_pad.size(); ++k)
+    EXPECT_EQ(spec_short[k], spec_pad[k]) << "bin " << k;
+}
+
+TEST_P(RealFftSizeTest, StridedGatherScatterMatchesContiguous) {
+  const std::size_t n = GetParam();
+  const std::size_t stride = 3;
+  Rng rng(static_cast<unsigned>(n) + 43);
+  const auto dense = rng.normal_vector(n);
+  std::vector<double> strided(n * stride, -7.0);
+  for (std::size_t i = 0; i < n; ++i) strided[i * stride] = dense[i];
+
+  RealFftPlan plan(n);
+  std::vector<Complex> spec_a(plan.spectrum_size());
+  std::vector<Complex> spec_b(plan.spectrum_size());
+  std::vector<Complex> scratch(plan.scratch_size());
+  plan.forward(dense, std::span<Complex>(spec_a), std::span<Complex>(scratch));
+  plan.forward_strided(strided.data(), stride, n, std::span<Complex>(spec_b),
+                       std::span<Complex>(scratch));
+  for (std::size_t k = 0; k < spec_a.size(); ++k)
+    EXPECT_EQ(spec_a[k], spec_b[k]);
+
+  // Strided inverse scatters only the requested samples and leaves every
+  // other slot of the interleaved buffer untouched.
+  std::vector<double> out(n * stride, -7.0);
+  plan.inverse_strided(spec_b, out.data(), stride, n,
+                       std::span<Complex>(scratch));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(out[i * stride], dense[i], 1e-11 * static_cast<double>(n));
+    for (std::size_t s = 1; s < stride; ++s)
+      EXPECT_EQ(out[i * stride + s], -7.0);
+  }
+}
+
+// 6, 34, 100 give non-power-of-two HALF lengths (3, 17, 25): the packing
+// trick on top of the Bluestein complex path, scratch included.
+INSTANTIATE_TEST_SUITE_P(Sizes, RealFftSizeTest,
+                         ::testing::Values(2, 4, 6, 8, 16, 34, 64, 100, 128,
+                                           256, 1024));
+
+TEST(RealFft, RejectsOddAndZeroLengths) {
+  EXPECT_THROW(RealFftPlan(0), std::invalid_argument);
+  EXPECT_THROW(RealFftPlan(7), std::invalid_argument);
+  RealFftPlan plan(16);
+  std::vector<Complex> small_spec(3), scratch(plan.scratch_size());
+  std::vector<double> x(16);
+  EXPECT_THROW(plan.forward(x, std::span<Complex>(small_spec),
+                            std::span<Complex>(scratch)),
+               std::invalid_argument);
+}
+
+class RealPairSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealPairSizeTest, PairPackingMatchesSeparateTransforms) {
+  const std::size_t n = GetParam();
+  Rng rng(static_cast<unsigned>(n) + 50);
+  const auto a = rng.normal_vector(n);
+  const auto b = rng.normal_vector(n);
+  FftPlan plan(n);
+
+  std::vector<Complex> fa(n), fb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fa[i] = Complex(a[i], 0.0);
+    fb[i] = Complex(b[i], 0.0);
+  }
+  plan.forward(std::span<Complex>(fa));
+  plan.forward(std::span<Complex>(fb));
+
+  const std::size_t nspec = n / 2 + 1;
+  std::vector<Complex> ahat(nspec), bhat(nspec);
+  std::vector<Complex> scratch(n + plan.scratch_size());
+  fft_real_pair(plan, a, b, std::span<Complex>(ahat), std::span<Complex>(bhat),
+                std::span<Complex>(scratch));
+  for (std::size_t k = 0; k < nspec; ++k) {
+    EXPECT_LT(std::abs(ahat[k] - fa[k]), 1e-9 * static_cast<double>(n));
+    EXPECT_LT(std::abs(bhat[k] - fb[k]), 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(RealPairSizeTest, PairRoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  Rng rng(static_cast<unsigned>(n) + 51);
+  const auto a = rng.normal_vector(n);
+  const auto b = rng.normal_vector(n);
+  FftPlan plan(n);
+  const std::size_t nspec = n / 2 + 1;
+  std::vector<Complex> ahat(nspec), bhat(nspec);
+  std::vector<Complex> scratch(n + plan.scratch_size());
+  fft_real_pair(plan, a, b, std::span<Complex>(ahat), std::span<Complex>(bhat),
+                std::span<Complex>(scratch));
+  std::vector<double> a2(n), b2(n);
+  ifft_real_pair(plan, ahat, bhat, std::span<double>(a2),
+                 std::span<double>(b2), std::span<Complex>(scratch));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(a2[i], a[i], 1e-10 * static_cast<double>(n));
+    EXPECT_NEAR(b2[i], b[i], 1e-10 * static_cast<double>(n));
+  }
+}
+
+// Odd, prime and composite lengths: all through the Bluestein chirp path
+// with caller-owned scratch — the case RealFftPlan cannot cover.
+INSTANTIATE_TEST_SUITE_P(Sizes, RealPairSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 12, 17, 31, 64, 97,
+                                           100));
+
+TEST(FftScratch, ScratchOverloadMatchesAllocatingPath) {
+  // Bluestein with caller scratch must be bit-identical to the allocating
+  // overload, and one scratch slab must be reusable across calls.
+  const std::size_t n = 97;
+  FftPlan plan(n);
+  ASSERT_GT(plan.scratch_size(), 0u);
+  std::vector<Complex> scratch(plan.scratch_size());
+  for (unsigned trial = 0; trial < 3; ++trial) {
+    auto x = random_signal(n, 60 + trial);
+    auto y = x;
+    plan.forward(std::span<Complex>(x));
+    plan.forward(std::span<Complex>(y), std::span<Complex>(scratch));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], y[i]);
+    plan.inverse(std::span<Complex>(x));
+    plan.inverse(std::span<Complex>(y), std::span<Complex>(scratch));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], y[i]);
+  }
+  std::vector<Complex> tiny(3);
+  std::vector<Complex> data = random_signal(n, 63);
+  EXPECT_THROW(plan.forward(std::span<Complex>(data),
+                            std::span<Complex>(tiny)),
+               std::invalid_argument);
+}
+
 TEST(Fft, PlanRejectsSizeMismatch) {
   FftPlan plan(16);
   std::vector<Complex> wrong(8);

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <span>
+#include <thread>
 
 #include "core/digital_twin.hpp"
 
@@ -197,6 +198,55 @@ TEST_F(StreamingTest, NonTrackingEngineStillServesSnapshots) {
   EXPECT_LE(DigitalTwin::relative_error(assim.forecast().mean,
                                         batch.forecast.mean),
             1e-12);
+}
+
+// forecast_into is the allocation-free publish path of the warning service:
+// it must reproduce forecast() exactly, including when one Forecast object
+// is recycled across ticks (stale buffers fully overwritten).
+TEST_F(StreamingTest, ForecastIntoMatchesForecastAcrossTicks) {
+  StreamingAssimilator assim = engine_->start();
+  Forecast recycled;
+  for (std::size_t t = 0; t < engine_->num_ticks(); ++t) {
+    assim.push(t, block(t));
+    assim.forecast_into(recycled);
+    const Forecast fresh = assim.forecast();
+    EXPECT_EQ(recycled.num_gauges, fresh.num_gauges);
+    EXPECT_EQ(recycled.num_times, fresh.num_times);
+    EXPECT_EQ(recycled.mean, fresh.mean);
+    EXPECT_EQ(recycled.stddev, fresh.stddev);
+    EXPECT_EQ(recycled.lower95, fresh.lower95);
+    EXPECT_EQ(recycled.upper95, fresh.upper95);
+  }
+}
+
+// Concurrent per-event workspaces over one shared engine (the TSan CI
+// preset exercises this): N threads each stream their own assimilator —
+// whose map_snapshot scratch and Posterior workspace are per-instance —
+// and every result must be bit-identical to the serial replay.
+TEST_F(StreamingTest, ConcurrentAssimilatorsWithOwnWorkspacesAreExact) {
+  const std::size_t ticks = engine_->num_ticks();
+  StreamingAssimilator serial = engine_->start();
+  for (std::size_t t = 0; t < ticks; ++t) serial.push(t, block(t));
+  const std::vector<double> q_serial = serial.qoi_mean();
+  const std::vector<double> m_serial = serial.map_snapshot();
+
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::vector<double>> q(kThreads), m(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (std::size_t ti = 0; ti < kThreads; ++ti) {
+    pool.emplace_back([&, ti] {
+      StreamingAssimilator assim = engine_->start();
+      for (std::size_t t = 0; t < ticks; ++t) assim.push(t, block(t));
+      q[ti] = assim.qoi_mean();
+      m[ti] = assim.map_snapshot();
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (std::size_t ti = 0; ti < kThreads; ++ti) {
+    EXPECT_EQ(q[ti], q_serial) << "thread " << ti;
+    EXPECT_EQ(m[ti], m_serial) << "thread " << ti;
+  }
 }
 
 TEST_F(StreamingTest, ResetReplayIsBitIdentical) {
