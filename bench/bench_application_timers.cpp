@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "core/p2o_builder.hpp"
+#include "parallel/parallel_for.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "wave/adjoint.hpp"
@@ -16,12 +17,12 @@ int main() {
   using namespace tsunami;
   TimerRegistry timers;
 
-  // --- Initialization: device/runtime bring-up (here: OpenMP warm-up). ----
+  // --- Initialization: device/runtime bring-up (here: pool warm-up). ------
   Stopwatch init_watch;
   {
-    double sink = 0.0;
-#pragma omp parallel for reduction(+ : sink)
-    for (int i = 0; i < 1000; ++i) sink += static_cast<double>(i);
+    const double sink = parallel_reduce_sum(
+        1000, [](std::size_t i) { return static_cast<double>(i); });
+    (void)sink;
   }
   timers.add("Initialization", init_watch.seconds());
 

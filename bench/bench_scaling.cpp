@@ -2,7 +2,7 @@
 // acoustic-gravity RK4 solver.
 //
 // Two parts (DESIGN.md substitution):
-//   1. REAL measurement: OpenMP thread scaling of the operator kernels on
+//   1. REAL measurement: worker-thread scaling of the operator kernels on
 //      this machine, and calibration of a "local CPU" machine profile.
 //   2. MODEL projection: the calibrated alpha-beta simulator evaluated on
 //      the paper's three systems at the paper's Table-II configurations,
@@ -12,11 +12,11 @@
 //      NOT model system noise/load imbalance, so its efficiencies bound the
 //      paper's measurements from above.
 
-#include <omp.h>
-
 #include <cstdio>
+#include <thread>
 
 #include "parallel/sim_comm.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -29,7 +29,7 @@ using namespace tsunami;
 
 /// Measured single-machine RK4 throughput (states advanced per second).
 double measure_local_throughput(int threads, std::size_t* dofs_out) {
-  omp_set_num_threads(threads);
+  ThreadPool::global().resize(static_cast<std::size_t>(threads));
   const Bathymetry bathy;  // synthetic Cascadia
   const HexMesh mesh(bathy, 12, 16, 3);
   AcousticGravityModel model(mesh, 2);
@@ -70,9 +70,10 @@ void print_curve(const char* title, const std::vector<std::size_t>& ranks,
 }  // namespace
 
 int main() {
-  std::printf("=== Part 1: measured OpenMP scaling on this machine ===\n");
+  std::printf("=== Part 1: measured thread-pool scaling on this machine ===\n");
   std::size_t dofs = 0;
-  const int max_threads = omp_get_num_procs();
+  const int max_threads =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   (void)measure_local_throughput(max_threads, &dofs);  // cold-start warm-up
   // Interleaved best-of-3 per thread count: containers/VMs schedule single
   // threads erratically, so one-shot timings can be wildly off.

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
               num_scenarios, serial ? ", serial" : "");
   DigitalTwin twin(config);
   std::printf("mesh %zux%zux%zu | parameters %zu | data dim %zu | "
-              "%d OpenMP threads\n\n",
+              "%d pool workers\n\n",
               config.mesh_nx, config.mesh_ny, config.mesh_nz,
               twin.parameter_dim(), twin.data_dim(), num_threads());
 

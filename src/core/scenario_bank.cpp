@@ -164,8 +164,9 @@ double correlation(std::span<const double> a, std::span<const double> b) {
 EnsembleReport ScenarioBank::run_online(bool parallel) const {
   if (events_.size() != specs_.size())
     throw std::logic_error("ScenarioBank::run_online: synthesize() first");
-  // Check the offline-phase precondition up front: an exception escaping the
-  // parallel_for below would terminate instead of propagating.
+  // Check the offline-phase precondition up front, before any parallel work
+  // starts (parallel_for does propagate exceptions, but a precondition
+  // failure should not cost a sweep launch).
   if (!twin_.online_ready())
     throw std::logic_error("ScenarioBank::run_online: offline phases not run");
 
@@ -237,8 +238,9 @@ StreamingSweepReport ScenarioBank::run_streaming(const StreamingEngine& engine,
                                                  double tolerance) const {
   if (events_.size() != specs_.size())
     throw std::logic_error("ScenarioBank::run_streaming: synthesize() first");
-  // Full dimension check up front: a mismatch surfacing inside the
-  // parallel_for below would terminate instead of propagating.
+  // Full dimension check up front, before any parallel work starts
+  // (parallel_for does propagate exceptions, but a mismatch should fail
+  // before the sweep launches).
   if (engine.data_dim() != twin_.data_dim() ||
       engine.num_ticks() != twin_.time_grid().num_intervals ||
       engine.qoi_dim() != events_.front().q_true.size())

@@ -11,6 +11,18 @@ namespace tsunami {
 
 namespace {
 
+constexpr std::size_t kAccTile = 1024;  // 8 KB: half of a typical L1d
+
+/// m[c0:c1] += zj * row[c0:c1] — the one FMA stream both the single-event
+/// and the batched accumulation paths are built from. Sharing this kernel is
+/// what makes push_many bit-identical to serial pushes BY CONSTRUCTION: per
+/// (event, output column) the adds are the same operations in the same
+/// order either way.
+inline void accumulate_row_tile(const double* row, double zj, double* m,
+                                std::size_t c0, std::size_t c1) {
+  for (std::size_t c = c0; c < c1; ++c) m[c] += zj * row[c];
+}
+
 /// out += slab[p0:p1, :]^T z[p0:p1] — the per-tick truncated-posterior
 /// accumulation. Column-tiled so the output tile stays in L1 across all
 /// block rows: the naive row-by-row axpy re-streams the whole output vector
@@ -19,18 +31,41 @@ namespace {
 void accumulate_block_rows(const Matrix& slab, const std::vector<double>& z,
                            std::size_t p0, std::size_t p1,
                            std::vector<double>& out) {
-  constexpr std::size_t kTile = 1024;  // 8 KB: half of a typical L1d
   const std::size_t ncols = slab.cols();
   const double* w = slab.data();
   double* m = out.data();
-  for (std::size_t c0 = 0; c0 < ncols; c0 += kTile) {
-    const std::size_t c1 = std::min(c0 + kTile, ncols);
+  for (std::size_t c0 = 0; c0 < ncols; c0 += kAccTile) {
+    const std::size_t c1 = std::min(c0 + kAccTile, ncols);
     for (std::size_t j = p0; j < p1; ++j) {
-      const double zj = z[j];
-      const double* row = w + j * ncols;
-      for (std::size_t c = c0; c < c1; ++c) m[c] += zj * row[c];
+      accumulate_row_tile(w + j * ncols, z[j], m, c0, c1);
     }
   }
+}
+
+/// Batched variant: outs[k] += slab[p0:p1, :]^T zs[k][p0:p1] for all K
+/// events in ONE sweep over the slab rows — each row (the bandwidth cost)
+/// is loaded once and reused K times. Tiles are independent (disjoint
+/// output columns), so the caller may parallelize over them; within a tile
+/// the loop order tile -> j -> k -> c keeps, for every (k, c), the same
+/// j-ascending addition order as accumulate_block_rows.
+void accumulate_block_rows_many(const Matrix& slab, std::size_t p0,
+                                std::size_t p1,
+                                std::span<const double* const> zs,
+                                std::span<double* const> outs) {
+  const std::size_t ncols = slab.cols();
+  const std::size_t nk = zs.size();
+  const double* w = slab.data();
+  const std::size_t ntiles = (ncols + kAccTile - 1) / kAccTile;
+  parallel_for_min(ntiles, 2, [&](std::size_t tile) {
+    const std::size_t c0 = tile * kAccTile;
+    const std::size_t c1 = std::min(c0 + kAccTile, ncols);
+    for (std::size_t j = p0; j < p1; ++j) {
+      const double* row = w + j * ncols;
+      for (std::size_t k = 0; k < nk; ++k) {
+        accumulate_row_tile(row, zs[k][j], outs[k], c0, c1);
+      }
+    }
+  });
 }
 
 }  // namespace
@@ -173,6 +208,76 @@ void StreamingAssimilator::push(std::size_t tick,
   ++t_;
   last_push_seconds_ = watch.seconds();
   total_push_seconds_ += last_push_seconds_;
+}
+
+void StreamingAssimilator::push_many(
+    std::span<StreamingAssimilator* const> events, std::size_t tick,
+    std::span<const std::span<const double>> blocks) {
+  const std::size_t nk = events.size();
+  if (nk == 0) return;
+  if (blocks.size() != nk)
+    throw std::invalid_argument(
+        "StreamingAssimilator::push_many: events/blocks count mismatch");
+  if (nk == 1) {
+    events[0]->push(tick, blocks[0]);
+    return;
+  }
+  const StreamingEngine& eng = events[0]->eng_;
+  eng.check_alive("StreamingAssimilator::push_many");
+  const std::size_t nd = eng.block_size();
+  for (std::size_t k = 0; k < nk; ++k) {
+    StreamingAssimilator* ev = events[k];
+    if (&ev->eng_ != &eng)
+      throw std::invalid_argument(
+          "StreamingAssimilator::push_many: events must share one engine");
+    if (ev->complete())
+      throw std::logic_error(
+          "StreamingAssimilator::push_many: event window full");
+    if (ev->t_ != tick)
+      throw std::invalid_argument(
+          "StreamingAssimilator::push_many: events not tick-aligned");
+    if (blocks[k].size() != nd)
+      throw std::invalid_argument(
+          "StreamingAssimilator::push_many: block size mismatch");
+    for (std::size_t j = 0; j < k; ++j) {
+      if (events[j] == ev)
+        throw std::invalid_argument(
+            "StreamingAssimilator::push_many: duplicate event");
+    }
+  }
+
+  Stopwatch watch;
+  const std::size_t p0 = tick * nd;
+  const std::size_t p1 = p0 + nd;
+  // Per-event forward-substitution extension: independent events, so the
+  // batch dimension parallelizes freely (each body touches only event k).
+  parallel_for_min(nk, 2, [&](std::size_t k) {
+    StreamingAssimilator* ev = events[k];
+    std::copy(blocks[k].begin(), blocks[k].end(), ev->z_.begin() + p0);
+    eng.post_.hessian().cholesky().forward_solve_range(ev->z_, p0, p1);
+  });
+
+  // One sweep over each slab's new block rows serves every event.
+  std::vector<const double*> zs(nk);
+  std::vector<double*> q_outs(nk);
+  for (std::size_t k = 0; k < nk; ++k) {
+    zs[k] = events[k]->z_.data();
+    q_outs[k] = events[k]->q_mean_.data();
+  }
+  accumulate_block_rows_many(eng.r_, p0, p1, zs, q_outs);
+  if (eng.tracks_map()) {
+    std::vector<double*> m_outs(nk);
+    for (std::size_t k = 0; k < nk; ++k) m_outs[k] = events[k]->m_map_.data();
+    accumulate_block_rows_many(eng.wstar_, p0, p1, zs, m_outs);
+  }
+
+  const double per_event = watch.seconds() / static_cast<double>(nk);
+  for (std::size_t k = 0; k < nk; ++k) {
+    StreamingAssimilator* ev = events[k];
+    ++ev->t_;
+    ev->last_push_seconds_ = per_event;
+    ev->total_push_seconds_ += per_event;
+  }
 }
 
 void StreamingAssimilator::forecast_into(Forecast& fc) const {

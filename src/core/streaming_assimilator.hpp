@@ -148,6 +148,20 @@ class StreamingAssimilator {
   /// that interval. Updates z, q_map, and (if tracked) m_map incrementally.
   void push(std::size_t tick, std::span<const double> d_block);
 
+  /// Batched cross-event push: assimilate interval `tick` for K events at
+  /// once. All assimilators must share the SAME engine (the slabs are
+  /// immutable and shared) and all must be exactly at `tick`; blocks[k] is
+  /// event k's Nd-vector. One pass over the slab block rows serves every
+  /// event — the slab is the bandwidth bottleneck of a push, so K events
+  /// cost barely more than one. Bit-identical to K serial push() calls:
+  /// the batched accumulation performs, per (event, output) pair, the same
+  /// additions in the same j-ascending order as the single-event path
+  /// (asserted by the determinism and service suites). K == 1 degenerates
+  /// to push(). Per-event timers record the batch time divided by K.
+  static void push_many(std::span<StreamingAssimilator* const> events,
+                        std::size_t tick,
+                        std::span<const std::span<const double>> blocks);
+
   [[nodiscard]] std::size_t ticks_received() const { return t_; }
   [[nodiscard]] bool complete() const { return t_ == eng_.num_ticks(); }
 

@@ -52,7 +52,7 @@ struct PaGeometry {
   }
 };
 
-/// Build the PA tables for all elements (OpenMP over elements).
+/// Build the PA tables for all elements (pool-parallel over elements).
 [[nodiscard]] PaGeometry build_pa_geometry(const HexMesh& mesh,
                                            const BasisTables& tables);
 

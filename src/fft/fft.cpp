@@ -221,16 +221,16 @@ void FftPlan::batch_execute(std::span<Complex> data, std::size_t batch,
     });
     return;
   }
-  // One scratch slab per thread, reused across the whole batch — the plan's
-  // tables are shared and read-only, so the slab is the only per-thread state.
+  // One scratch slab per loop participant, reused across the whole batch —
+  // the plan's tables are shared and read-only, so the slab is the only
+  // per-participant state.
   const std::size_t nthreads =
       std::min<std::size_t>(static_cast<std::size_t>(num_threads()),
                             std::max<std::size_t>(batch, 1));
   std::vector<Complex> scratch(nthreads * scr);
-  parallel_for_min(batch, 2, [&](std::size_t b) {
-    const auto tid = static_cast<std::size_t>(omp_get_thread_num()) % nthreads;
+  parallel_for_slotted(batch, 2, [&](std::size_t b, std::size_t slot) {
     execute(std::span<Complex>(p + b * n_, n_), inverse,
-            std::span<Complex>(scratch.data() + tid * scr, scr));
+            std::span<Complex>(scratch.data() + slot * scr, scr));
   });
 }
 

@@ -6,7 +6,7 @@
 //  - iterative radix-2 Cooley-Tukey for powers of two,
 //  - Bluestein's chirp-z algorithm for everything else (so Toeplitz
 //    embeddings never need size padding beyond 2*Nt),
-// plus batched multi-signal transforms (OpenMP over the batch), which is the
+// plus batched multi-signal transforms (pool-parallel over the batch), the
 // access pattern of the block-circulant matvec: many independent length-L
 // transforms, one per spatial index.
 //
@@ -37,8 +37,8 @@ using Complex = std::complex<double>;
 
 /// Precomputed plan for complex transforms of a fixed length.
 /// Immutable after construction; execute() is const and thread-safe, so one
-/// plan can serve all OpenMP threads of a batch (each thread passing its own
-/// scratch slab to the span-scratch overloads).
+/// plan can serve all worker threads of a batch (each participant passing
+/// its own scratch slab to the span-scratch overloads).
 class FftPlan {
  public:
   explicit FftPlan(std::size_t length);

@@ -20,9 +20,9 @@ void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   } else {
     double* yp = y.data();
     const double* xp = x.data();
-#pragma omp parallel for schedule(static)
-    for (long long i = 0; i < static_cast<long long>(n); ++i)
-      yp[i] += alpha * xp[i];
+    parallel_for_ranges(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) yp[i] += alpha * xp[i];
+    });
   }
 }
 
@@ -32,8 +32,9 @@ void scal(double alpha, std::span<double> x) {
     for (auto& v : x) v *= alpha;
   } else {
     double* xp = x.data();
-#pragma omp parallel for schedule(static)
-    for (long long i = 0; i < static_cast<long long>(n); ++i) xp[i] *= alpha;
+    parallel_for_ranges(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) xp[i] *= alpha;
+    });
   }
 }
 
@@ -85,22 +86,18 @@ void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y) {
   const double* ap = a.data();
   const double* xp = x.data();
   double* yp = y.data();
-  // Column-result accumulation: parallelize over output chunks to avoid
-  // write conflicts while keeping unit-stride reads of A's rows.
-  const std::size_t nt =
-      std::min<std::size_t>(static_cast<std::size_t>(num_threads()),
-                            std::max<std::size_t>(cols, 1));
-#pragma omp parallel num_threads(static_cast<int>(nt))
-  {
-    const auto t = static_cast<std::size_t>(omp_get_thread_num());
-    const Range r = block_range(cols, nt, t);
-    for (std::size_t j = r.begin; j < r.end; ++j) yp[j] = 0.0;
+  // Column-result accumulation: parallelize over output column panels to
+  // avoid write conflicts while keeping unit-stride reads of A's rows. Each
+  // column's i-sweep runs to completion inside one chunk, so the result is
+  // independent of scheduling and worker count.
+  parallel_for_ranges(cols, [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) yp[j] = 0.0;
     for (std::size_t i = 0; i < rows; ++i) {
       const double* row = ap + i * cols;
       const double xi = xp[i];
-      for (std::size_t j = r.begin; j < r.end; ++j) yp[j] += xi * row[j];
+      for (std::size_t j = j0; j < j1; ++j) yp[j] += xi * row[j];
     }
-  }
+  });
 }
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {

@@ -1,6 +1,6 @@
 #pragma once
 
-// BLAS-like kernels (OpenMP-parallel where profitable). These stand in for
+// BLAS-like kernels (pool-parallel where profitable). These stand in for
 // the cuBLAS calls in the paper's FFTMatvec/inference codes; the algorithms
 // built on top only assume the standard contracts.
 
@@ -32,7 +32,7 @@ void gemv(const Matrix& a, std::span<const double> x, std::span<double> y);
 /// y = A^T x.
 void gemv_t(const Matrix& a, std::span<const double> x, std::span<double> y);
 
-/// C = A B (blocked, OpenMP over row panels).
+/// C = A B (blocked, pool-parallel over row panels).
 void gemm(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C = A^T B.

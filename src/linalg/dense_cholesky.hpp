@@ -4,7 +4,7 @@
 //
 // This is the CPU stand-in for the paper's cuSOLVERMp Cholesky of the
 // data-space Hessian K = Gamma_noise + F G* (Table III: "factorize K").
-// Blocked right-looking algorithm with OpenMP-parallel trailing updates.
+// Blocked right-looking algorithm with pool-parallel trailing updates.
 //
 // Prefix solves: because Cholesky commutes with taking leading principal
 // submatrices (the factor of A[0:p, 0:p] is exactly L[0:p, 0:p]), the same

@@ -1,0 +1,63 @@
+#include "parallel/numa.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <new>
+
+#include "parallel/parallel_for.hpp"
+
+namespace tsunami {
+namespace {
+
+constexpr std::size_t kAlign = 64;  // cache line; also divides the page size
+
+double* numa_alloc(std::size_t n) {
+  if (n == 0) return nullptr;
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t bytes = ((n * sizeof(double) + kAlign - 1) / kAlign) * kAlign;
+  void* p = std::aligned_alloc(kAlign, bytes);
+  if (p == nullptr) throw std::bad_alloc();
+  return static_cast<double*>(p);
+}
+
+}  // namespace
+
+NumaArray::NumaArray(std::size_t n) : data_(numa_alloc(n)), size_(n) {
+  // First touch from the pool workers: pages land near their consumers.
+  parallel_for_ranges(size_, [&](std::size_t begin, std::size_t end) {
+    std::fill(data_ + begin, data_ + end, 0.0);
+  });
+}
+
+NumaArray::NumaArray(const NumaArray& other)
+    : data_(numa_alloc(other.size_)), size_(other.size_) {
+  parallel_for_ranges(size_, [&](std::size_t begin, std::size_t end) {
+    std::copy(other.data_ + begin, other.data_ + end, data_ + begin);
+  });
+}
+
+NumaArray::NumaArray(NumaArray&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+NumaArray& NumaArray::operator=(const NumaArray& other) {
+  if (this != &other) *this = NumaArray(other);
+  return *this;
+}
+
+NumaArray& NumaArray::operator=(NumaArray&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+NumaArray::~NumaArray() { std::free(data_); }
+
+}  // namespace tsunami

@@ -1,0 +1,44 @@
+#pragma once
+
+// NUMA-aware first-touch buffers for the long-lived frequency-domain slabs.
+//
+// Linux (and every mainstream OS) maps anonymous pages to the NUMA node of
+// the thread that FIRST WRITES them, not the thread that malloc'd them. A
+// std::vector zero-fills on the constructing thread, so on a multi-socket
+// box every page of a slab lands on one node and remote workers pay
+// cross-socket latency on each apply. NumaArray instead allocates
+// uninitialized memory and zero-fills it with the same chunked parallel
+// loop the consumers use — each page is first touched by (statistically)
+// the worker that will stream it later. On a single-node machine the
+// parallel fill is just a parallel memset: a graceful no-op for placement,
+// no special-casing, no libnuma dependency.
+
+#include <cstddef>
+
+namespace tsunami {
+
+/// Fixed-size double buffer, 64-byte aligned, first-touched in parallel.
+/// Vector-like surface (data/size/operator[]) for the slab code; contents
+/// start zeroed.
+class NumaArray {
+ public:
+  NumaArray() = default;
+  explicit NumaArray(std::size_t n);
+  NumaArray(const NumaArray& other);
+  NumaArray(NumaArray&& other) noexcept;
+  NumaArray& operator=(const NumaArray& other);
+  NumaArray& operator=(NumaArray&& other) noexcept;
+  ~NumaArray();
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] double* data() { return data_; }
+  [[nodiscard]] const double* data() const { return data_; }
+  double& operator[](std::size_t i) { return data_[i]; }
+  const double& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tsunami

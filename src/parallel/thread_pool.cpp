@@ -1,0 +1,434 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <initializer_list>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tsunami {
+namespace {
+
+constexpr std::size_t kMaxThreads = 512;
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// First positive integer found in the named environment variables, or 0.
+std::size_t env_threads(std::initializer_list<const char*> names) {
+  for (const char* name : names) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') continue;
+    char* end = nullptr;
+    const long v = std::strtol(raw, &end, 10);
+    if (end != raw && v > 0) return static_cast<std::size_t>(v);
+  }
+  return 0;
+}
+
+struct Job {
+  std::function<void()> fn;
+};
+
+/// Chase-Lev work-stealing deque of Job*. The owner pushes and pops at the
+/// bottom; thieves race a CAS on the top. The racy loads/stores use seq_cst
+/// atomics rather than the textbook standalone fences: standalone
+/// atomic_thread_fence is both easy to get subtly wrong and invisible to
+/// TSan (which would then report false races through the deque), while
+/// seq_cst operations on top_/bottom_ are strictly stronger and fully
+/// modeled. The deque is far from the bottleneck — steals are rare under
+/// chunked loops — so the stronger ordering costs nothing measurable.
+class StealDeque {
+ public:
+  StealDeque() : array_(new Slots(kInitialCapacity)) {}
+
+  ~StealDeque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (Slots* retired : retired_) delete retired;
+  }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only.
+  void push(Job* job) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Slots* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(a->capacity)) {
+      // Full: publish a doubled array. The old array is retired, not freed —
+      // a concurrent thief may still hold a pointer to it.
+      Slots* grown = a->grow(t, b);
+      retired_.push_back(a);
+      array_.store(grown, std::memory_order_release);
+      a = grown;
+    }
+    a->put(b, job);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only. Null when empty (or when a thief won the last element).
+  Job* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Slots* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Empty: restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Job* job = a->get(b);
+    if (t == b) {
+      // Last element: race thieves for it via the top CAS.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        job = nullptr;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return job;
+  }
+
+  /// Any thread. Null on empty or lost race.
+  Job* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Slots* a = array_.load(std::memory_order_acquire);
+    Job* job = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return job;
+  }
+
+  [[nodiscard]] bool looks_empty() const {
+    return bottom_.load(std::memory_order_seq_cst) <=
+           top_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 64;  // power of two
+
+  struct Slots {
+    explicit Slots(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          entries(new std::atomic<Job*>[cap]) {}
+
+    [[nodiscard]] Job* get(std::int64_t i) const {
+      return entries[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, Job* job) {
+      entries[static_cast<std::size_t>(i) & mask].store(
+          job, std::memory_order_relaxed);
+    }
+    [[nodiscard]] Slots* grow(std::int64_t t, std::int64_t b) const {
+      auto* next = new Slots(capacity * 2);
+      for (std::int64_t i = t; i < b; ++i) next->put(i, get(i));
+      return next;
+    }
+
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<Job*>[]> entries;
+  };
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Slots*> array_;
+  std::vector<Slots*> retired_;  // owner-only; freed at destruction
+};
+
+/// State of one in-flight run() loop, shared by the caller and its helper
+/// jobs. Items are claimed via `next`; completion is `done == nitems`.
+struct LoopState {
+  LoopState(std::size_t n, void (*f)(void*, std::size_t, std::size_t),
+            void* c)
+      : nitems(n), fn(f), ctx(c) {}
+
+  const std::size_t nitems;
+  void (*const fn)(void*, std::size_t, std::size_t);
+  void* const ctx;
+
+  std::atomic<std::size_t> next{0};   ///< next unclaimed item
+  std::atomic<std::size_t> done{0};   ///< completed (or skipped) items
+  std::atomic<std::size_t> slots{0};  ///< dense participant-slot allocator
+  std::atomic<bool> failed{false};    ///< set once an item threw
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  ///< first exception, guarded by mutex
+};
+
+/// Claim-and-execute until the loop runs dry. Never blocks, so it is safe to
+/// call from arbitrarily nested loops.
+void work_on(LoopState& state) {
+  const std::size_t slot = state.slots.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    const std::size_t item = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (item >= state.nitems) return;
+    if (!state.failed.load(std::memory_order_relaxed)) {
+      try {
+        state.fn(state.ctx, item, slot);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.error) state.error = std::current_exception();
+        state.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state.nitems) {
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      state.done_cv.notify_all();
+    }
+  }
+}
+
+struct Worker;
+
+struct WorkerTls {
+  void* pool = nullptr;  // the ThreadPool::Impl this thread belongs to
+  Worker* worker = nullptr;
+};
+
+thread_local WorkerTls tls_worker;
+
+struct Worker {
+  StealDeque deque;
+  std::thread thread;
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::size_t threads = 1;
+  std::vector<std::unique_ptr<Worker>> workers;
+
+  std::mutex inject_mutex;
+  std::deque<Job*> inject;
+
+  // Sleep protocol: `signals` is bumped (and the cv notified) on every job
+  // submission; a worker snapshots it before its final empty re-check, then
+  // waits for it to change. A submission between re-check and wait flips the
+  // predicate, so wakeups cannot be lost.
+  std::mutex wake_mutex;
+  std::condition_variable wake_cv;
+  std::atomic<std::uint64_t> signals{0};
+  std::atomic<bool> stop{false};
+
+  // submit()-job accounting for wait_idle().
+  std::atomic<std::int64_t> inflight{0};
+  std::mutex idle_mutex;
+  std::condition_variable idle_cv;
+
+  std::atomic<std::uint64_t> steals{0};
+
+  void push_job(Job* job) {
+    inflight.fetch_add(1, std::memory_order_relaxed);
+    if (tls_worker.pool == this && tls_worker.worker != nullptr) {
+      tls_worker.worker->deque.push(job);
+    } else {
+      const std::lock_guard<std::mutex> lock(inject_mutex);
+      inject.push_back(job);
+    }
+    signals.fetch_add(1, std::memory_order_release);
+    wake_cv.notify_one();
+  }
+
+  Job* pop_injected() {
+    const std::lock_guard<std::mutex> lock(inject_mutex);
+    if (inject.empty()) return nullptr;
+    Job* job = inject.front();
+    inject.pop_front();
+    return job;
+  }
+
+  Job* find_work(Worker& me) {
+    if (Job* job = me.deque.pop()) return job;
+    if (Job* job = pop_injected()) return job;
+    for (const auto& victim : workers) {
+      if (victim.get() == &me) continue;
+      if (Job* job = victim->deque.steal()) {
+        steals.fetch_add(1, std::memory_order_relaxed);
+        return job;
+      }
+    }
+    return nullptr;
+  }
+
+  void execute(Job* job) {
+    job->fn();
+    delete job;
+    if (inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::lock_guard<std::mutex> lock(idle_mutex);
+      idle_cv.notify_all();
+    }
+  }
+
+  void worker_main(Worker& me) {
+    tls_worker = {this, &me};
+    for (;;) {
+      if (Job* job = find_work(me)) {
+        execute(job);
+        continue;
+      }
+      const std::uint64_t seen = signals.load(std::memory_order_acquire);
+      if (Job* job = find_work(me)) {
+        execute(job);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(wake_mutex);
+      wake_cv.wait(lock, [&] {
+        return stop.load(std::memory_order_relaxed) ||
+               signals.load(std::memory_order_relaxed) != seen;
+      });
+      if (stop.load(std::memory_order_relaxed)) return;
+    }
+  }
+
+  void spawn(std::size_t n) {
+    stop.store(false, std::memory_order_relaxed);
+    threads = n;
+    workers.clear();
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers.push_back(std::make_unique<Worker>());
+    }
+    // Spawn only after the vector is fully built: workers scan each other's
+    // deques when stealing.
+    for (auto& w : workers) {
+      Worker* self = w.get();
+      w->thread = std::thread([this, self] { worker_main(*self); });
+    }
+  }
+
+  void join_all() {
+    {
+      const std::lock_guard<std::mutex> lock(wake_mutex);
+      stop.store(true, std::memory_order_relaxed);
+    }
+    wake_cv.notify_all();
+    for (auto& w : workers) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+  }
+
+  /// Moves jobs stranded in worker deques back to the injection queue
+  /// (workers are joined, so owner/thief roles are moot).
+  void salvage_deques() {
+    for (auto& w : workers) {
+      while (Job* job = w->deque.steal()) {
+        const std::lock_guard<std::mutex> lock(inject_mutex);
+        inject.push_back(job);
+      }
+    }
+  }
+};
+
+std::size_t loop_chunks(std::size_t n) {
+  static const std::size_t kGrid = std::max<std::size_t>(
+      64, 4 * hardware_threads());
+  return std::min(n, kGrid);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  std::size_t n = threads == 0 ? default_threads() : threads;
+  n = std::clamp<std::size_t>(n, 1, kMaxThreads);
+  impl_->spawn(n);
+}
+
+ThreadPool::~ThreadPool() {
+  impl_->join_all();
+  impl_->salvage_deques();
+  // Unexecuted jobs (there normally are none: owners wait for their work)
+  // are dropped, not run — destruction is not a drain point.
+  while (Job* job = impl_->pop_injected()) {
+    delete job;
+    impl_->inflight.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+std::size_t ThreadPool::default_threads() {
+  const std::size_t env =
+      env_threads({"TSUNAMI_NUM_THREADS", "OMP_NUM_THREADS"});
+  const std::size_t n = env != 0 ? env : hardware_threads();
+  return std::clamp<std::size_t>(n, 1, kMaxThreads);
+}
+
+std::size_t ThreadPool::num_threads() const { return impl_->threads; }
+
+void ThreadPool::submit(std::function<void()> job) {
+  impl_->push_job(new Job{std::move(job)});
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(impl_->idle_mutex);
+  impl_->idle_cv.wait(lock, [&] {
+    return impl_->inflight.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::resize(std::size_t threads) {
+  std::size_t n = threads == 0 ? default_threads() : threads;
+  n = std::clamp<std::size_t>(n, 1, kMaxThreads);
+  if (n == impl_->threads) return;
+  impl_->join_all();
+  impl_->salvage_deques();
+  impl_->spawn(n);
+  // Re-signal in case jobs were salvaged into the injection queue.
+  impl_->signals.fetch_add(1, std::memory_order_release);
+  impl_->wake_cv.notify_all();
+}
+
+std::size_t ThreadPool::steal_count() const {
+  return impl_->steals.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::run_items(std::size_t nitems, ItemFn fn, void* ctx) {
+  if (nitems == 0) return;
+  // Serial fast path: same item grid, same order, zero scheduling. Loops are
+  // worker-count-invariant precisely because this path and the parallel path
+  // execute the identical item decomposition.
+  if (impl_->threads <= 1 || nitems == 1) {
+    for (std::size_t i = 0; i < nitems; ++i) fn(ctx, i, 0);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>(nitems, fn, ctx);
+  // The caller participates, so at most min(threads, nitems) slots are ever
+  // allocated — scratch sized num_threads()-wide is always sufficient.
+  const std::size_t helpers =
+      std::min(impl_->threads - 1, nitems - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    impl_->push_job(new Job{[state] { work_on(*state); }});
+  }
+  work_on(*state);
+
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == nitems;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace tsunami

@@ -53,7 +53,7 @@ class MaternPrior {
   void apply_sqrt(std::span<const double> x, std::span<double> y) const;
 
   /// Block-diagonal-in-time application to a time-major space-time vector
-  /// with `nt` blocks (OpenMP over blocks).
+  /// with `nt` blocks (pool-parallel over blocks).
   void apply_time_blocks(std::span<const double> x, std::span<double> y,
                          std::size_t nt) const;
 

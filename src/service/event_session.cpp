@@ -86,6 +86,36 @@ std::vector<EventSession::Block> EventSession::take_runnable_locked() {
   return batch;
 }
 
+bool EventSession::try_schedule() {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  const bool runnable =
+      !pending_.empty() && pending_.begin()->first == next_expected_;
+  if (!runnable || scheduled_) return false;
+  scheduled_ = true;
+  return true;
+}
+
+bool EventSession::take_one_runnable(Block& out) {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  if (pending_.empty() || pending_.begin()->first != next_expected_)
+    return false;
+  auto node = pending_.extract(pending_.begin());
+  out.tick = node.key();
+  out.data = std::move(node.mapped());
+  ++next_expected_;
+  space_cv_.notify_all();
+  return true;
+}
+
+bool EventSession::release_if_idle() {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!pending_.empty() && pending_.begin()->first == next_expected_)
+    return false;  // a submit raced in-order work in: still ours to drain
+  scheduled_ = false;
+  idle_cv_.notify_all();
+  return true;
+}
+
 void EventSession::drain_for(ServiceTelemetry& telemetry) {
   for (;;) {
     std::vector<Block> batch;
@@ -110,6 +140,10 @@ void EventSession::drain_for(ServiceTelemetry& telemetry) {
 void EventSession::assimilate(const Block& block,
                               ServiceTelemetry& telemetry) {
   assim_.push(block.tick, block.data);
+  publish_after_push(telemetry);
+}
+
+void EventSession::publish_after_push(ServiceTelemetry& telemetry) {
   telemetry.on_push(assim_.last_push_seconds());
 
   assim_.forecast_into(staging_forecast_);

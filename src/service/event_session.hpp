@@ -22,9 +22,10 @@
 //     operator dashboards read without touching assimilator internals.
 //
 // Threading contract: any number of producer threads may call submit();
-// at most one service worker at a time runs drain_for() (enforced by the
-// scheduled-flag protocol in WarningService); snapshot()/wait_idle() are
-// safe from anywhere.
+// at most one drain job at a time owns the session (enforced by the
+// scheduled-flag protocol: won either by submit() returning true or by the
+// cross-event batcher's try_schedule()); snapshot()/wait_idle() are safe
+// from anywhere.
 
 #include <condition_variable>
 #include <cstddef>
@@ -116,6 +117,11 @@ class EventSession {
   [[nodiscard]] const CachedEngine& cached_engine() const { return *engine_; }
 
  private:
+  /// The batcher in WarningService drives sessions through the fine-grained
+  /// hooks below (try_schedule / take_one_runnable / release_if_idle /
+  /// publish_after_push) instead of drain_for.
+  friend class WarningService;
+
   struct Block {
     std::size_t tick;
     std::vector<double> data;
@@ -125,9 +131,30 @@ class EventSession {
   /// of the buffer. Called under state_mutex_.
   [[nodiscard]] std::vector<Block> take_runnable_locked();
 
+  /// Batcher co-opt: win the scheduled flag iff in-order work is available
+  /// and no drain job owns the session. On true the caller owns the session
+  /// until release_if_idle() succeeds.
+  [[nodiscard]] bool try_schedule();
+
+  /// Pop exactly the next in-order block (if buffered) into `out`. Owner
+  /// only. Advances next_expected_ and wakes backpressure waiters.
+  [[nodiscard]] bool take_one_runnable(Block& out);
+
+  /// Drop the scheduled flag iff no in-order work remains; returns false
+  /// (still owned) when a racing submit buffered the next tick — the owner
+  /// must then keep draining. Mirrors drain_for's lost-wakeup-free release.
+  [[nodiscard]] bool release_if_idle();
+
   /// Push one block through the assimilator and refresh the snapshot +
   /// alert latch. Called by the owning worker only (no state_mutex_).
   void assimilate(const Block& block, ServiceTelemetry& telemetry);
+
+  /// The publish half of assimilate(): telemetry sample, rolling forecast,
+  /// alert latch, snapshot swap — for blocks whose push already happened
+  /// (the batched cross-event path). Owner only.
+  void publish_after_push(ServiceTelemetry& telemetry);
+
+  [[nodiscard]] StreamingAssimilator& assimilator() { return assim_; }
 
   const EventId id_;
   const std::shared_ptr<const CachedEngine> engine_;  ///< shared, immutable

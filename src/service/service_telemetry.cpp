@@ -1,24 +1,28 @@
 #include "service/service_telemetry.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
+#include <vector>
 
 #include "util/table.hpp"
 
 namespace tsunami {
 
-ServiceTelemetry::ServiceTelemetry(std::size_t window) {
+ServiceTelemetry::ServiceTelemetry(std::size_t window) : window_(window) {
   if (window == 0)
     throw std::invalid_argument("ServiceTelemetry: window == 0");
-  latency_ring_.resize(window, 0.0);
+  latency_ring_ = std::make_unique<std::atomic<double>[]>(window);
+  for (std::size_t i = 0; i < window; ++i)
+    latency_ring_[i].store(0.0, relaxed);
 }
 
 void ServiceTelemetry::on_push(double seconds) {
   ticks_assimilated_.fetch_add(1, relaxed);
-  const std::lock_guard<std::mutex> lock(latency_mutex_);
-  latency_ring_[ring_next_] = seconds;
-  ring_next_ = (ring_next_ + 1) % latency_ring_.size();
-  if (ring_filled_ < latency_ring_.size()) ++ring_filled_;
+  // One fetch_add reserves a unique slot — concurrent writers never touch
+  // the same element, and there is no index/filled pair to tear.
+  const std::uint64_t pos = ring_pos_.fetch_add(1, relaxed);
+  latency_ring_[pos % window_].store(seconds, relaxed);
 }
 
 TelemetrySnapshot ServiceTelemetry::snapshot() const {
@@ -37,13 +41,11 @@ TelemetrySnapshot ServiceTelemetry::snapshot() const {
       s.wall_seconds > 0.0
           ? static_cast<double>(s.ticks_assimilated) / s.wall_seconds
           : 0.0;
-  std::vector<double> sample;
-  {
-    const std::lock_guard<std::mutex> lock(latency_mutex_);
-    sample.assign(latency_ring_.begin(),
-                  latency_ring_.begin() +
-                      static_cast<std::ptrdiff_t>(ring_filled_));
-  }
+  const std::size_t filled = static_cast<std::size_t>(
+      std::min<std::uint64_t>(ring_pos_.load(relaxed), window_));
+  std::vector<double> sample(filled);
+  for (std::size_t i = 0; i < filled; ++i)
+    sample[i] = latency_ring_[i].load(relaxed);
   s.push_latency = summarize_latencies(std::move(sample));
   return s;
 }

@@ -7,16 +7,20 @@
 // the push-latency distribution look like (one slow push during a real
 // event is a late alert). This collector is written to by every worker
 // thread on every push, so it must be cheap and thread-safe: counters are
-// relaxed atomics, and latencies land in a mutex-guarded ring that keeps
-// the most recent `window` samples for percentile estimation (p50/p95/p99
-// via util/stats — the same estimator the ScenarioBank reports use).
+// relaxed atomics, and latencies land in a LOCK-FREE ring that keeps the
+// most recent `window` samples for percentile estimation (p50/p95/p99 via
+// util/stats — the same estimator the ScenarioBank reports use). Writers
+// reserve a unique slot with one fetch_add on the ring position — the old
+// mutex-guarded ring serialized every concurrent push on one lock, and a
+// pre-mutex draft that bumped a relaxed non-atomic index under concurrent
+// writers could tear pairs of writes; the fetch_add closes that race window
+// for good (covered by a TSan multi-writer test).
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -67,10 +71,14 @@ class ServiceTelemetry {
   std::atomic<std::uint64_t> ticks_rejected_{0};
   Stopwatch since_start_;
 
-  mutable std::mutex latency_mutex_;
-  std::vector<double> latency_ring_;  ///< capacity = window
-  std::size_t ring_next_ = 0;         ///< next write slot
-  std::size_t ring_filled_ = 0;       ///< min(total pushes, window)
+  /// Lock-free latency ring: `ring_pos_` hands each writer a unique slot;
+  /// slots are atomic doubles so a snapshot racing a writer reads either
+  /// the old or the new sample, never a torn one. A slot reserved but not
+  /// yet stored reads as its previous value (0.0 when never written) — a
+  /// one-sample skew a percentile estimate cannot notice.
+  std::size_t window_ = 0;
+  std::unique_ptr<std::atomic<double>[]> latency_ring_;
+  std::atomic<std::uint64_t> ring_pos_{0};  ///< total samples ever recorded
 };
 
 }  // namespace tsunami

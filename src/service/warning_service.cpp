@@ -1,8 +1,12 @@
 #include "service/warning_service.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
 
 namespace tsunami {
 
@@ -12,18 +16,19 @@ WarningService::WarningService(const ServiceOptions& options)
     throw std::invalid_argument("WarningService: num_workers == 0");
   if (options_.max_pending_per_event == 0)
     throw std::invalid_argument("WarningService: max_pending_per_event == 0");
-  workers_.reserve(options_.num_workers);
-  for (std::size_t i = 0; i < options_.num_workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  if (options_.max_batch_events == 0)
+    throw std::invalid_argument("WarningService: max_batch_events == 0");
 }
 
 WarningService::~WarningService() {
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    stopping_ = true;
-  }
-  queue_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  // No threads to join — drains are jobs on the shared pool. Refuse new
+  // launches, drop the not-yet-launched queue (sessions die with us), and
+  // wait out the in-flight jobs: each still touches `this` (telemetry, the
+  // drain slot) until it signals drains_cv_.
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  stopping_ = true;
+  ready_.clear();
+  drains_cv_.wait(lock, [&] { return active_drains_ == 0; });
 }
 
 EventId WarningService::open_event(
@@ -105,27 +110,104 @@ std::shared_ptr<EventSession> WarningService::session(EventId id) const {
 }
 
 void WarningService::enqueue_ready(std::shared_ptr<EventSession> s) {
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    ready_.push_back(std::move(s));
-  }
-  queue_cv_.notify_one();
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (stopping_) return;
+  ready_.push_back(std::move(s));
+  pump_locked();
 }
 
-void WarningService::worker_loop() {
-  for (;;) {
-    std::shared_ptr<EventSession> s;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
-      if (stopping_) return;
-      s = std::move(ready_.front());
-      ready_.pop_front();
+void WarningService::pump_locked() {
+  while (!stopping_ && active_drains_ < options_.num_workers &&
+         !ready_.empty()) {
+    std::shared_ptr<EventSession> s = std::move(ready_.front());
+    ready_.pop_front();
+    ++active_drains_;
+    // Submitting under queue_mutex_ is fine: the pool's queues are leaves
+    // below it, and the job itself reacquires queue_mutex_ only at the end
+    // of run_drain.
+    ThreadPool::global().submit(
+        [this, s = std::move(s)]() mutable { run_drain(std::move(s)); });
+  }
+}
+
+void WarningService::run_drain(std::shared_ptr<EventSession> leader) {
+  // The session arrives with its scheduled flag held (won by the submit that
+  // enqueued it), so this job is its sole drainer until release.
+  if (options_.cross_event_batching && options_.max_batch_events > 1)
+    drain_batched(std::move(leader));
+  else
+    leader->drain_for(telemetry_);
+
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  --active_drains_;
+  pump_locked();
+  if (active_drains_ == 0) drains_cv_.notify_all();
+}
+
+void WarningService::drain_batched(std::shared_ptr<EventSession> leader) {
+  // Co-opt peers: sessions on the SAME engine with in-order work and no
+  // owner. try_schedule wins their scheduled flag, so from here until
+  // release_if_idle succeeds each co-opted session is ours exclusively —
+  // exactly the ownership a drain job would have had, acquired without
+  // waiting (never block under sessions_mutex_).
+  std::vector<std::shared_ptr<EventSession>> active;
+  active.push_back(std::move(leader));
+  {
+    const StreamingEngine* eng = &active.front()->cached_engine().engine();
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const auto& [_, s] : sessions_) {
+      if (active.size() >= options_.max_batch_events) break;
+      if (s == active.front()) continue;
+      if (&s->cached_engine().engine() != eng) continue;
+      if (s->try_schedule()) active.push_back(s);
     }
-    // drain_for assimilates the session's whole in-order backlog and clears
-    // its scheduled flag under the session lock, so per-session execution
-    // stays single-threaded while distinct sessions run concurrently.
-    s->drain_for(telemetry_);
+  }
+
+  // Round loop: pop at most ONE in-order block per session per round, fuse
+  // the tick-aligned groups through push_many, publish each session, and
+  // release sessions that ran dry. Per session the blocks still land in
+  // strict tick order through the same FP operations (push_many is
+  // bit-identical to serial pushes by construction), so batching cannot
+  // change any event's result — only how many slab sweeps pay for them.
+  std::vector<StreamingAssimilator*> group_events;
+  std::vector<std::span<const double>> group_blocks;
+  while (!active.empty()) {
+    const std::size_t n = active.size();
+    std::vector<EventSession::Block> blocks(n);
+    std::vector<char> has(n, 0);
+    std::map<std::size_t, std::vector<std::size_t>> by_tick;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i]->take_one_runnable(blocks[i])) {
+        has[i] = 1;
+        by_tick[blocks[i].tick].push_back(i);
+      }
+    }
+    for (const auto& [tick, idxs] : by_tick) {
+      if (idxs.size() == 1) {
+        // Degenerate group: the plain single-event push path.
+        active[idxs.front()]->assimilate(blocks[idxs.front()], telemetry_);
+        continue;
+      }
+      group_events.clear();
+      group_blocks.clear();
+      for (const std::size_t i : idxs) {
+        group_events.push_back(&active[i]->assimilator());
+        group_blocks.push_back(blocks[i].data);
+      }
+      StreamingAssimilator::push_many(group_events, tick, group_blocks);
+      for (const std::size_t i : idxs)
+        active[i]->publish_after_push(telemetry_);
+    }
+    // Keep sessions that produced a block (they may have more); for the
+    // rest, release — unless a submit raced new in-order work in, in which
+    // case release fails and the session stays ours for the next round.
+    std::vector<std::shared_ptr<EventSession>> next;
+    next.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (has[i] || !active[i]->release_if_idle())
+        next.push_back(std::move(active[i]));
+    }
+    active.swap(next);
   }
 }
 

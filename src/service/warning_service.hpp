@@ -5,10 +5,14 @@
 // The paper's online phase serves ONE event; an operational warning center
 // during a Cascadia sequence (mainshock, aftershocks, far-field arrivals —
 // and scenario sweeps running alongside live events) needs many at once.
-// This is the serving layer: a worker pool drains per-event ingest queues
-// and pushes observations through per-event StreamingAssimilators, all of
-// which share the immutable per-network StreamingEngine slabs held by an
-// EngineCache — hundreds of sessions, one copy of the operators.
+// This is the serving layer: drain jobs on the process-wide work-stealing
+// ThreadPool pull per-event ingest queues and push observations through
+// per-event StreamingAssimilators, all of which share the immutable
+// per-network StreamingEngine slabs held by an EngineCache — hundreds of
+// sessions, one copy of the operators. Sessions on the SAME engine that are
+// tick-aligned get their pushes fused into one multi-RHS slab sweep
+// (StreamingAssimilator::push_many): the slab is the bandwidth cost of a
+// push, so K concurrent events cost barely more than one.
 //
 //   EngineCache cache;                          // one per process
 //   WarningService service({.num_workers = 8});
@@ -35,7 +39,6 @@
 #include <mutex>
 #include <condition_variable>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "service/engine_cache.hpp"
@@ -45,9 +48,11 @@
 namespace tsunami {
 
 struct ServiceOptions {
-  /// Worker threads draining session queues. The workers are std::threads,
-  /// not an OpenMP team: pushes are latency-bound and long-lived, and must
-  /// not serialize behind the twin's own parallel_for regions.
+  /// Maximum CONCURRENT drain jobs on the shared ThreadPool (the service no
+  /// longer owns threads of its own: drains are fire-and-forget pool jobs,
+  /// so service work and the twin's numeric loops share one set of workers
+  /// instead of oversubscribing the machine). The cap bounds how much of
+  /// the pool live events can claim while sweeps run alongside.
   std::size_t num_workers = 4;
   /// Per-session ingest-queue bound (the next-expected tick always bypasses
   /// it — see EventSession::submit).
@@ -57,14 +62,23 @@ struct ServiceOptions {
   AlertPolicy default_alert{};
   /// Latency samples retained for the telemetry percentiles.
   std::size_t telemetry_window = 1 << 16;
+  /// Fuse tick-aligned pushes from sessions sharing one engine into one
+  /// multi-RHS slab sweep (StreamingAssimilator::push_many). Bit-identical
+  /// to unbatched draining — per-event results cannot depend on who else is
+  /// in the batch (asserted in tests) — so this is purely a throughput
+  /// knob.
+  bool cross_event_batching = true;
+  /// Most sessions fused into one batched sweep (>= 1; 1 disables fusion).
+  std::size_t max_batch_events = 16;
 };
 
 class WarningService {
  public:
   explicit WarningService(const ServiceOptions& options = {});
 
-  /// Stops the workers. Does NOT drain: buffered-but-unassimilated blocks
-  /// are dropped (call drain() or close_event() first if they matter).
+  /// Waits for in-flight drain jobs to finish, then detaches from the pool.
+  /// Does NOT drain queued backlogs: buffered-but-unassimilated blocks are
+  /// dropped (call drain() or close_event() first if they matter).
   ~WarningService();
 
   WarningService(const WarningService&) = delete;
@@ -104,21 +118,30 @@ class WarningService {
  private:
   [[nodiscard]] std::shared_ptr<EventSession> session(EventId id) const;
   void enqueue_ready(std::shared_ptr<EventSession> s);
-  void worker_loop();
+  /// Launch drain jobs for queued sessions while under the concurrency cap.
+  /// Called under queue_mutex_.
+  void pump_locked();
+  /// Body of one pool drain job: drain the session (batched or not), then
+  /// release the drain slot and pump again.
+  void run_drain(std::shared_ptr<EventSession> leader);
+  /// Cross-event batched drain: co-opt tick-aligned same-engine sessions
+  /// and fuse their pushes through push_many.
+  void drain_batched(std::shared_ptr<EventSession> leader);
 
   ServiceOptions options_;
   ServiceTelemetry telemetry_;
 
+  // Lock order: sessions_mutex_ before any session's internal lock;
+  // queue_mutex_ is a leaf (never held while calling into sessions).
   mutable std::mutex sessions_mutex_;
   std::map<EventId, std::shared_ptr<EventSession>> sessions_;
   EventId next_id_ = 1;
 
   std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
+  std::condition_variable drains_cv_;  ///< dtor waits for active_drains_ == 0
   std::deque<std::shared_ptr<EventSession>> ready_;
+  std::size_t active_drains_ = 0;  ///< pool jobs currently draining
   bool stopping_ = false;
-
-  std::vector<std::thread> workers_;  ///< last member: joined before teardown
 };
 
 }  // namespace tsunami

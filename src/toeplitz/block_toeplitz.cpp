@@ -166,10 +166,13 @@ BlockToeplitz::BlockToeplitz(std::size_t rows, std::size_t cols,
   if (blocks.size() != rows * cols * nblocks)
     throw std::invalid_argument("BlockToeplitz: block array size mismatch");
   const std::size_t nrc = rows_ * cols_;
-  fhat_re_.resize(nfreq_ * nrc);
-  fhat_im_.resize(nfreq_ * nrc);
+  // NumaArray first-touches the slab pages from the pool workers that will
+  // stream them on every apply (and zero-fills; every entry is overwritten
+  // by the strided FFT writes below).
+  fhat_re_ = NumaArray(nfreq_ * nrc);
+  fhat_im_ = NumaArray(nfreq_ * nrc);
   // One length-L real FFT per (r, c) entry sequence, batched over entries
-  // with one spectrum + FFT scratch slab per thread (no per-signal
+  // with one spectrum + FFT scratch slab per loop participant (no per-signal
   // temporaries). Entry (r, c) of block k sits at blocks[k * nrc + rc]:
   // base rc, stride nrc — the strided r2c pack reads it in place.
   const std::size_t scr = plan_.scratch_size();
@@ -177,11 +180,10 @@ BlockToeplitz::BlockToeplitz(std::size_t rows, std::size_t cols,
   std::vector<Complex> fft_scratch(nthreads * scr);
   double* fre = fhat_re_.data();
   double* fim = fhat_im_.data();
-  parallel_for_min(nrc, 2, [&](std::size_t rc) {
-    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+  parallel_for_slotted(nrc, 2, [&](std::size_t rc, std::size_t slot) {
     plan_.forward_strided_split(
         blocks.data() + rc, nrc, nt_, fre + rc, fim + rc, nrc,
-        std::span<Complex>(fft_scratch.data() + tid * scr, scr));
+        std::span<Complex>(fft_scratch.data() + slot * scr, scr));
   });
 }
 
@@ -212,13 +214,12 @@ void BlockToeplitz::forward_channels(const double* x, std::size_t nchan,
   double* xre = ws.xhat_re_.data();
   double* xim = ws.xhat_im_.data();
   Complex* fft_base = ws.fft_.data();
-  parallel_for_min(nsig, 2, [&](std::size_t s) {
-    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+  parallel_for_slotted(nsig, 2, [&](std::size_t s, std::size_t slot) {
     // The untangle pass of the r2c transform writes the split slab planes
     // directly (bin stride nsig): no AoS spectrum staging.
     plan_.forward_strided_split(
         x + s, nsig, in_ticks, xre + s, xim + s, nsig,
-        std::span<Complex>(fft_base + tid * scr, scr));
+        std::span<Complex>(fft_base + slot * scr, scr));
   });
 }
 
@@ -231,14 +232,13 @@ void BlockToeplitz::inverse_channels(std::size_t nchan, std::size_t nrhs,
   const double* yim = ws.yhat_im_.data();
   Complex* fft_base = ws.fft_.data();
   double* yp = y.data();
-  parallel_for_min(nsig, 2, [&](std::size_t s) {
-    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+  parallel_for_slotted(nsig, 2, [&](std::size_t s, std::size_t slot) {
     // The c2r inverse reads the split slab planes directly, rebuilds the
     // redundant half spectrum implicitly, and emits only the nt_ retained
     // (real) samples, scattered time-major.
     plan_.inverse_strided_split(
         yre + s, yim + s, nsig, yp + s, nsig, nt_,
-        std::span<Complex>(fft_base + tid * scr, scr));
+        std::span<Complex>(fft_base + slot * scr, scr));
   });
 }
 

@@ -15,7 +15,7 @@
 //        full complex transform would waste 2x flops/bandwidth),
 //   (ii) an independent (rows x cols) complex matvec per frequency — the
 //        cuBLAS-batched kernel of the paper; here a cache-blocked
-//        split-complex micro-kernel under an OpenMP loop,
+//        split-complex micro-kernel under a pool-parallel loop,
 //   (iii) batched inverse real-output FFTs of the rows output channels.
 // The transpose (block UPPER triangular Toeplitz, cyclic correlation) uses
 // the conjugate spectrum, no extra storage. Real-input symmetry means only
@@ -37,11 +37,12 @@
 
 #include "fft/fft.hpp"
 #include "linalg/dense.hpp"
+#include "parallel/numa.hpp"
 
 namespace tsunami {
 
 /// Reusable scratch for BlockToeplitz apply paths: the split-complex
-/// frequency slabs plus per-OpenMP-thread FFT scratch. Buffers grow on
+/// frequency slabs plus per-loop-participant FFT scratch. Buffers grow on
 /// demand and never shrink, so after the first call at a given shape no
 /// apply allocates. One workspace serves operators of any shape (it resizes
 /// to the largest seen).
@@ -60,7 +61,7 @@ class ToeplitzWorkspace {
   friend class BlockToeplitz;
   std::vector<double> xhat_re_, xhat_im_;  ///< input slab, [(w*nchan+c)*nrhs+v]
   std::vector<double> yhat_re_, yhat_im_;  ///< output slab, same layout
-  std::vector<Complex> fft_;               ///< per-thread: real-plan scratch
+  std::vector<Complex> fft_;               ///< per-slot: real-plan scratch
 };
 
 class BlockToeplitz {
@@ -128,7 +129,7 @@ class BlockToeplitz {
   /// Inverse real-output FFTs of the yhat slab back into time-major y.
   void inverse_channels(std::size_t nchan, std::size_t nrhs,
                         std::span<double> y, ToeplitzWorkspace& ws) const;
-  /// Grows the per-thread FFT scratch in `ws` for the current plan.
+  /// Grows the per-slot FFT scratch in `ws` for the current plan.
   std::size_t prepare_thread_scratch(ToeplitzWorkspace& ws) const;
 
   void apply_impl(const double* x, double* y, std::size_t nrhs,
@@ -141,7 +142,8 @@ class BlockToeplitz {
   RealFftPlan plan_;
   /// Split-complex block spectra, frequency-major:
   /// fhat_re_[(w * rows + r) * cols + c] (imaginary plane likewise).
-  std::vector<double> fhat_re_, fhat_im_;
+  /// NumaArray: pages first-touched by the workers that stream them.
+  NumaArray fhat_re_, fhat_im_;
   std::vector<double> blocks_;  ///< optional time-domain copy (tests)
 };
 

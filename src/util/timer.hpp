@@ -6,7 +6,7 @@
 // named phases ("Initialization", "Setup", "Adjoint p2o", "I/O", ...) are
 // accumulated across repeated invocations and reported as a table. The paper
 // measures wall time with POSIX clocks after device sync + MPI_Barrier; the
-// CPU analogue here is steady_clock around OpenMP joins.
+// CPU analogue here is steady_clock around thread-pool joins.
 
 #include <chrono>
 #include <map>

@@ -4,8 +4,6 @@
 
 #include <gtest/gtest.h>
 
-#include <omp.h>
-
 #include <cmath>
 #include <set>
 
@@ -102,29 +100,9 @@ TEST_F(ScenarioBankTest, SharedNoiseFloorAppliesToEveryEvent) {
   }
 }
 
-TEST_F(ScenarioBankTest, SynthesisIsBitReproducibleAcrossThreadCounts) {
-  // synthesize() draws every stochastic quantity from a per-scenario stream
-  // seeded by (noise_seed, index) alone, and the forward model only ever
-  // writes disjoint state — so the bank must be BIT-identical no matter how
-  // the parallel sweep is scheduled. Re-synthesize under a different thread
-  // count and demand exact equality with the fixture's events.
-  ScenarioBank serial_bank(*twin_, bank_->specs());
-  const int saved = omp_get_max_threads();
-  omp_set_num_threads(1);
-  serial_bank.synthesize(7);
-  omp_set_num_threads(saved);
-
-  ASSERT_EQ(serial_bank.events().size(), bank_->events().size());
-  for (std::size_t i = 0; i < bank_->events().size(); ++i) {
-    const SyntheticEvent& a = bank_->events()[i];
-    const SyntheticEvent& b = serial_bank.events()[i];
-    EXPECT_EQ(a.m_true, b.m_true) << "scenario " << i;
-    EXPECT_EQ(a.d_true, b.d_true) << "scenario " << i;
-    EXPECT_EQ(a.d_obs, b.d_obs) << "scenario " << i;
-    EXPECT_EQ(a.q_true, b.q_true) << "scenario " << i;
-    EXPECT_EQ(a.noise.sigma, b.noise.sigma) << "scenario " << i;
-  }
-}
+// Worker-count bit-reproducibility of synthesize() lives in
+// tests/test_determinism.cpp, the one parameterized suite covering every
+// parallel_for-driven result.
 
 TEST_F(ScenarioBankTest, BatchedOnlineSweepRecoversEveryScenario) {
   const EnsembleReport report = bank_->run_online();

@@ -1,0 +1,161 @@
+// Tests for the persistent work-stealing thread pool (src/parallel/): pool
+// lifecycle under load, exception propagation out of parallel loops (and
+// that the pool survives it), nested parallel_for without deadlock, fire-
+// and-forget submit under heavy oversubscription, a steal-heavy stress that
+// proves work actually migrates between deques, and resize semantics. This
+// suite is part of the ThreadSanitizer CI job: the deque and the sleep
+// protocol are exactly the code TSan must see clean.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace tsunami {
+namespace {
+
+TEST(ThreadPoolTest, LifecycleUnderLoad) {
+  // Construct/destroy repeatedly with jobs in flight: the dtor must join
+  // cleanly whether workers are sleeping, running, or mid-steal.
+  for (int round = 0; round < 5; ++round) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+TEST(ThreadPoolTest, RunExecutesEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 1000;
+  std::vector<std::atomic<int>> hits(kItems);
+  pool.run(kItems, [&](std::size_t i, std::size_t slot) {
+    EXPECT_LT(slot, pool.num_threads());
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  constexpr std::size_t kN = 100000;
+  std::vector<unsigned char> hit(kN, 0);
+  parallel_for(kN, [&](std::size_t i) { hit[i]++; });
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hit[i], 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  // The first exception thrown by any chunk must reach the caller; the
+  // remaining items are abandoned, workers return to the pool, and the
+  // SAME pool keeps serving loops afterwards.
+  EXPECT_THROW(
+      parallel_for(10000,
+                   [](std::size_t i) {
+                     if (i == 4321)
+                       throw std::runtime_error("poisoned item");
+                   }),
+      std::runtime_error);
+
+  double s = parallel_reduce_sum(1000, [](std::size_t) { return 1.0; });
+  EXPECT_EQ(s, 1000.0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A loop body that launches another parallel loop: inner loops must make
+  // progress even with every worker already inside the outer loop. The
+  // claim-execute engine never blocks a worker on someone else's chunk, so
+  // nesting is a DAG walk, not a thread handoff.
+  std::atomic<std::size_t> total{0};
+  parallel_for(16, [&](std::size_t) {
+    parallel_for(64, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 16u * 64u);
+}
+
+TEST(ThreadPoolTest, OversubscribedSubmitDrains) {
+  // Far more jobs than workers, submitted from several external threads at
+  // once (all landing in the injection queue): every job runs exactly once
+  // and wait_idle observes completion.
+  ThreadPool pool(4);
+  constexpr int kJobs = 1000;
+  std::atomic<int> ran{0};
+  std::vector<std::thread> submitters;
+  for (int p = 0; p < 4; ++p) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kJobs / 4; ++i)
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), kJobs);
+}
+
+TEST(ThreadPoolTest, WorkMigratesBetweenDeques) {
+  // Steal-heavy stress: one parent job fans 512 children into ITS OWN
+  // deque (worker-local push), so the only way the other three workers can
+  // participate is by stealing. Assert they did.
+  ThreadPool pool(4);
+  const std::size_t steals_before = pool.steal_count();
+  std::atomic<int> ran{0};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    for (int i = 0; i < 512; ++i) {
+      pool.submit([&ran] {
+        // A touch of work so children outlive the parent's submit loop.
+        volatile double x = 1.0;
+        for (int k = 0; k < 2000; ++k) x = x * 1.0000001 + 1e-9;
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    done.store(true, std::memory_order_release);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(done.load(std::memory_order_acquire));
+  EXPECT_EQ(ran.load(), 512);
+  EXPECT_GT(pool.steal_count(), steals_before);
+}
+
+TEST(ThreadPoolTest, ResizePreservesPendingJobs) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  // Jobs still queued (or mid-run) when the worker set is torn down must be
+  // salvaged into the new workers, not dropped.
+  pool.resize(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+
+  pool.resize(2);
+  pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 101);
+}
+
+TEST(ThreadPoolTest, ChunkGridIsIndependentOfWorkerCount) {
+  // The determinism contract rests on this: the chunk grid is a pure
+  // function of n (and the machine), never of the worker count.
+  for (std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                        std::size_t{1000}, std::size_t{1} << 20}) {
+    const std::size_t c = loop_chunks(n);
+    EXPECT_GE(c, std::min<std::size_t>(n, 1));
+    EXPECT_LE(c, n);
+  }
+  EXPECT_EQ(loop_chunks(0), 0u);
+}
+
+}  // namespace
+}  // namespace tsunami
