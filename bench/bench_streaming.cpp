@@ -31,6 +31,8 @@
 
 #include "bench_util.hpp"
 #include "core/digital_twin.hpp"
+#include "obs/trace.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -81,6 +83,38 @@ int main() {
       push_s[t] = std::min(push_s[t], assim.last_push_seconds());
     }
   }
+
+  // Trace A/B: the same replay with the flight recorder off (the default —
+  // TRACE_SCOPE must cost one relaxed load) vs on (two clock reads + four
+  // relaxed stores per span). Alternating off/on within each round (the
+  // bench_fftmatvec discipline) so neither mode systematically runs colder,
+  // with at least two rounds so each mode gets a warm pass even in quick
+  // mode. The off-median matching the untraced push medians above is the
+  // "disabled tracing adds zero overhead" guard; both medians land in
+  // BENCH_streaming.json.
+  const bool was_tracing = obs::trace_enabled();
+  std::vector<double> ab_off(nt, 1e300);
+  std::vector<double> ab_on(nt, 1e300);
+  for (int r = 0; r < std::max(2, replays); ++r) {
+    for (const bool traced : {false, true}) {
+      obs::set_trace_enabled(traced);
+      std::vector<double>& dst = traced ? ab_on : ab_off;
+      assim.reset();
+      for (std::size_t t = 0; t < nt; ++t) {
+        assim.push(t,
+                   std::span<const double>(event.d_obs).subspan(t * nd, nd));
+        dst[t] = std::min(dst[t], assim.last_push_seconds());
+      }
+    }
+  }
+  obs::set_trace_enabled(was_tracing);
+  if (!was_tracing) obs::clear_trace();  // keep the A/B out of TSUNAMI_TRACE
+  const double push_off_ns = percentile(ab_off, 50.0) * 1e9;
+  const double push_on_ns = percentile(ab_on, 50.0) * 1e9;
+  std::printf("trace A/B median push: off %s | on %s (%.3fx)\n\n",
+              format_duration(push_off_ns / 1e9).c_str(),
+              format_duration(push_on_ns / 1e9).c_str(),
+              push_on_ns / push_off_ns);
 
   // Truncated exact re-solve at tick t (prefix solves + prefix G* + Fq m).
   const DenseCholesky& chol = twin.hessian().cholesky();
@@ -181,6 +215,8 @@ int main() {
              bu::from_seconds(full_s));
   report.note("whole_event_push_s", push_total);
   report.note("precompute_s", engine.precompute_seconds());
+  report.note("push_trace_off_ns", push_off_ns);
+  report.note("push_trace_on_ns", push_on_ns);
   report.write();
   return 0;
 }

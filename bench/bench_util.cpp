@@ -1,10 +1,14 @@
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
+#include <thread>
 
+#include "parallel/thread_pool.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -65,12 +69,57 @@ void append_number(std::string& out, double v) {
   out += buf;
 }
 
+/// Commit being benchmarked: TSUNAMI_GIT_SHA, then CI's GITHUB_SHA, then
+/// asking git itself; "unknown" outside a checkout.
+std::string git_sha() {
+  for (const char* var : {"TSUNAMI_GIT_SHA", "GITHUB_SHA"}) {
+    const char* v = std::getenv(var);
+    if (v != nullptr && *v != '\0') return v;
+  }
+  std::string sha;
+  if (std::FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) sha = buf;
+    ::pclose(p);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+    sha.pop_back();
+  for (const char c : sha) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return "unknown";
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// The "meta" block that makes BENCH_*.json artifacts comparable across CI
+/// runs: which commit, which machine width, which thread setting, when.
+std::string meta_json() {
+  std::string out = "{\"git_sha\": \"" + git_sha() + "\"";
+  out += ", \"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency());
+  out += ", \"tsunami_num_threads\": " +
+         std::to_string(ThreadPool::default_threads());
+  out += ", \"timestamp\": \"" + utc_timestamp() + "\"}";
+  return out;
+}
+
 }  // namespace
 
 std::string JsonReport::write() {
   written_ = true;
   std::string out = "{\n  \"bench\": \"" + name_ + "\",\n  \"quick\": ";
   out += quick_mode() ? "true" : "false";
+  out += ",\n  \"meta\": " + meta_json();
   out += ",\n  \"cases\": [";
   for (std::size_t i = 0; i < cases_.size(); ++i) {
     const Case& c = cases_[i];

@@ -9,6 +9,8 @@
 //   {
 //     "bench": "<name>",
 //     "quick": false,
+//     "meta": {"git_sha": "...", "hardware_threads": 8,
+//              "tsunami_num_threads": 8, "timestamp": "2026-01-01T00:00:00Z"},
 //     "cases": [
 //       {"name": "...", "shape": {"rows": 8, ...},
 //        "reps": 25, "median_ns": ..., "p10_ns": ..., "p90_ns": ...},

@@ -16,6 +16,12 @@
 //      (events in flight, aggregate ticks/sec, p50/p95/p99 push latency).
 //
 //   $ ./examples/warning_service [n_events]     # default 6
+//
+// Observability hooks (both optional, see docs/ARCHITECTURE.md):
+//   TSUNAMI_TRACE=trace.json    flight-recorder spans -> Chrome trace JSON
+//                               (open in Perfetto / chrome://tracing)
+//   TSUNAMI_METRICS=metrics.prom  Prometheus text exposition of the service,
+//                               pool, and offline-phase metrics at exit
 
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +30,9 @@
 #include <vector>
 
 #include "core/scenario_bank.hpp"
+#include "obs/bridge.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
 #include "service/engine_cache.hpp"
 #include "service/warning_service.hpp"
 #include "util/table.hpp"
@@ -125,6 +134,28 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("telemetry: %s\n", service.telemetry().str().c_str());
+
+  // TSUNAMI_METRICS=path: one scrape of every layer — service counters and
+  // the push-latency histogram, pool worker stats, and the warm twin's phase
+  // timers — through the single Prometheus export path.
+  if (const char* metrics_path = std::getenv("TSUNAMI_METRICS");
+      metrics_path != nullptr && *metrics_path != '\0') {
+    obs::MetricsSnapshot snap;
+    service.collect_metrics(snap);
+    obs::collect_pool(ThreadPool::global(), snap);
+    obs::collect_timers(engine->twin().timers(), snap);
+    const std::string text = obs::prometheus_text(snap);
+    if (std::FILE* f = std::fopen(metrics_path, "w")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("[obs] wrote %zu metric samples to %s\n", snap.samples.size(),
+                  metrics_path);
+    } else {
+      std::fprintf(stderr, "[obs] could not write metrics to %s\n",
+                   metrics_path);
+    }
+  }
+
   std::remove(bundle_path.c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/blas.hpp"
+#include "obs/trace.hpp"
 #include "util/io.hpp"
 
 namespace tsunami {
@@ -276,6 +277,7 @@ void DigitalTwin::refresh_offline_epoch() {
 }
 
 void DigitalTwin::run_phase1() {
+  TRACE_SCOPE("offline", "phase1");
   {
     ScopedTimer t(timers_, "phase1: form F");
     f_ = build_p2o_map(*model_, *sensors_, time_, &timers_,
@@ -293,6 +295,7 @@ void DigitalTwin::run_phase1() {
 
 void DigitalTwin::run_phase2(const NoiseModel& noise) {
   if (!f_.toeplitz) throw std::logic_error("run_phase2: phase 1 not run");
+  TRACE_SCOPE("offline", "phase2");
   ScopedTimer t(timers_, "phase2: form+factorize K");
   hessian_ = std::make_unique<DataSpaceHessian>(*f_.toeplitz, *prior_, noise,
                                                 64, &timers_);
@@ -302,6 +305,7 @@ void DigitalTwin::run_phase2(const NoiseModel& noise) {
 
 void DigitalTwin::run_phase3() {
   if (!hessian_) throw std::logic_error("run_phase3: phase 2 not run");
+  TRACE_SCOPE("offline", "phase3");
   ScopedTimer t(timers_, "phase3: QoI covariance + Q");
   predictor_ = std::make_unique<QoiPredictor>(*f_.toeplitz, *fq_.toeplitz,
                                               *prior_, *hessian_, &timers_);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "linalg/blas.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace tsunami {
@@ -89,6 +90,7 @@ StreamingEngine::StreamingEngine(const Posterior& posterior,
     throw std::invalid_argument(
         "StreamingEngine: posterior/predictor data dim mismatch");
 
+  TRACE_SCOPE("offline", "streaming_precompute");
   Stopwatch watch;
   const DenseCholesky& chol = post_.hessian().cholesky();
 
@@ -194,6 +196,7 @@ void StreamingAssimilator::push(std::size_t tick,
     throw std::invalid_argument(
         "StreamingAssimilator::push: block size mismatch");
 
+  TRACE_SCOPE("stream", "push");
   Stopwatch watch;
   const std::size_t p0 = t_ * eng_.block_size();
   const std::size_t p1 = p0 + eng_.block_size();
@@ -246,6 +249,7 @@ void StreamingAssimilator::push_many(
     }
   }
 
+  TRACE_SCOPE("stream", "push_many");
   Stopwatch watch;
   const std::size_t p0 = tick * nd;
   const std::size_t p1 = p0 + nd;

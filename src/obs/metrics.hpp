@@ -1,0 +1,223 @@
+#pragma once
+
+// Unified metrics: counters, gauges, log-bucketed mergeable histograms, and
+// one export path (Prometheus text exposition + JSON) shared by the offline
+// phase tables, the thread pool, and the online warning service.
+//
+// Why a histogram and not a sample ring: the serving layer used to keep the
+// most recent 64k push latencies and sort them per snapshot — percentiles
+// over a *window*, O(n log n) per read, and two services' windows cannot be
+// combined. The Histogram here is HDR-style: values land in log-bucketed
+// counters (each power of two split into kSubBuckets linear sub-buckets), so
+//   * recording is a relaxed fetch_add — multi-writer safe, wait-free;
+//   * percentiles are exact-rank over the FULL LIFETIME of the series, not a
+//     sample window, with relative quantization error bounded by the bucket
+//     width: |estimate - exact| / exact <= 1 / kSubBuckets (the estimate is
+//     a bucket midpoint; see bucket_lower_bound). Tested against exact
+//     percentiles on known distributions in tests/test_obs.cpp.
+//   * snapshots MERGE by adding bucket counts — shards, workers, or repeated
+//     runs combine losslessly (merge is associative and commutative on the
+//     counts; asserted in tests).
+//
+// Export model: components keep their own live instruments (ServiceTelemetry
+// its histogram, ThreadPool its per-worker counters, TimerRegistry its phase
+// accumulators) and contribute point-in-time samples into a MetricsSnapshot;
+// prometheus_text()/json_text() render a snapshot. One snapshot, one scrape,
+// whatever the source — that is the "one export path" the offline tables and
+// the online service now share (see obs/bridge.hpp for the collectors).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tsunami::obs {
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+/// Monotonically increasing count. Wait-free, multi-writer.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time copy of a Histogram; plain data, mergeable, and the thing
+/// percentiles are computed from.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> counts;  ///< per-bucket; empty == all-zero
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< exact (not bucket-quantized); 0 when count == 0
+  double max = 0.0;  ///< exact; 0 when count == 0
+
+  /// Add another snapshot's series into this one. Bucket counts add
+  /// exactly (integers), so merging is associative and commutative.
+  void merge(const HistogramSnapshot& other);
+
+  /// Exact-rank percentile (q in [0, 100]) over the lifetime series: the
+  /// bucket midpoint of the bucket holding the floor(q/100 * (count-1))-th
+  /// smallest sample, clamped into [min, max]. Relative error vs the exact
+  /// order statistic is bounded by 1 / Histogram::kSubBuckets. Returns 0 on
+  /// an empty series; throws std::invalid_argument for q outside [0, 100].
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Lock-free log-bucketed histogram of positive doubles (latencies in
+/// seconds, sizes, ...). See the header comment for the design rationale.
+class Histogram {
+ public:
+  /// Linear sub-buckets per power of two. 32 bounds the relative
+  /// quantization error of a percentile at 1/32 ~= 3.1% (midpoint estimate:
+  /// typically half that).
+  static constexpr int kSubBuckets = 32;
+  /// frexp exponent range covered exactly: [2^-40, 2^40) ~= [9.1e-13,
+  /// 1.1e12). Values below (including zero/negative/NaN) land in the first
+  /// bucket, above in the last — counted, never lost.
+  static constexpr int kMinExp = -40;
+  static constexpr int kMaxExp = 40;
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets;
+
+  Histogram();
+
+  /// Record one value. Wait-free: one bucket fetch_add + count/sum/min/max
+  /// relaxed atomics. Any thread.
+  void record(double v);
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Bucket index for a value (public for the tests' error-bound math).
+  [[nodiscard]] static std::size_t bucket_index(double v);
+  /// Inclusive lower edge of bucket i.
+  [[nodiscard]] static double bucket_lower_bound(std::size_t i);
+  /// Exclusive upper edge of bucket i (== lower bound of i + 1).
+  [[nodiscard]] static double bucket_upper_bound(std::size_t i);
+
+ private:
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+// ---------------------------------------------------------------------------
+// Snapshot + exposition
+// ---------------------------------------------------------------------------
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// One exported time series at one point in time.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;  ///< Prometheus metric name ([a-zA-Z_:][a-zA-Z0-9_:]*)
+  Labels labels;
+  std::string help;  ///< optional # HELP text
+  Kind kind = Kind::kGauge;
+  double value = 0.0;       ///< counter/gauge
+  HistogramSnapshot hist;   ///< histogram
+};
+
+/// The unit of export: an ordered bag of samples contributed by any number
+/// of components (registry instruments, pool stats, timer tables, service
+/// telemetry), rendered once.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  void counter(std::string name, double value, Labels labels = {},
+               std::string help = {});
+  void gauge(std::string name, double value, Labels labels = {},
+             std::string help = {});
+  void histogram(std::string name, HistogramSnapshot hist, Labels labels = {},
+                 std::string help = {});
+};
+
+/// Prometheus text exposition (version 0.0.4): # HELP / # TYPE headers per
+/// family, `name{labels} value` samples, histograms as cumulative
+/// `_bucket{le=...}` series (non-empty buckets only) + `_sum` + `_count`.
+/// Throws std::invalid_argument on an invalid metric name or a duplicate
+/// (name, labels) series — the bugs a scrape endpoint must not ship.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// The same snapshot as a JSON array (histograms summarized as count/sum/
+/// min/max/p50/p95/p99).
+[[nodiscard]] std::string json_text(const MetricsSnapshot& snapshot);
+
+/// Validate a Prometheus text exposition: line grammar, metric-name and
+/// label syntax, numeric values, no duplicate (name, labels) series, TYPE
+/// declared at most once per family. Returns an empty string when valid,
+/// else a description of the first problem (used by the CI smoke test).
+[[nodiscard]] std::string validate_prometheus(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Named live instruments with stable addresses: counter("x") returns the
+/// same Counter& every time, creating it on first use. Thread-safe; lookup
+/// takes one mutex (hot paths hold the returned reference, they do not
+/// re-look-up per event). Kind conflicts on a (name, labels) key throw.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();  // out-of-line: Entry is incomplete here
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       const std::string& help = {});
+
+  /// Append one sample per registered instrument.
+  void collect_into(MetricsSnapshot& snapshot) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Process-wide registry for call sites without a natural owner.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry;
+  Entry& find_or_create(const std::string& name, const Labels& labels,
+                        const std::string& help, MetricSample::Kind kind);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
+};
+
+}  // namespace tsunami::obs

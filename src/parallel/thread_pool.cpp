@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -13,6 +14,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace tsunami {
 namespace {
@@ -119,6 +122,13 @@ class StealDeque {
            top_.load(std::memory_order_seq_cst);
   }
 
+  /// Any thread; a racy snapshot suitable for metrics only.
+  [[nodiscard]] std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
  private:
   static constexpr std::size_t kInitialCapacity = 64;  // power of two
 
@@ -208,6 +218,12 @@ thread_local WorkerTls tls_worker;
 
 struct Worker {
   StealDeque deque;
+  std::size_t index = 0;
+  // Per-worker observability counters; relaxed atomics so worker_stats()
+  // can read them while the worker runs.
+  std::atomic<std::uint64_t> jobs{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::int64_t> busy_ns{0};
   std::thread thread;
 };
 
@@ -236,6 +252,10 @@ struct ThreadPool::Impl {
 
   std::atomic<std::uint64_t> steals{0};
 
+  /// Epoch of the current worker set (reset on spawn) for utilization.
+  std::chrono::steady_clock::time_point spawned_at =
+      std::chrono::steady_clock::now();
+
   void push_job(Job* job) {
     inflight.fetch_add(1, std::memory_order_relaxed);
     if (tls_worker.pool == this && tls_worker.worker != nullptr) {
@@ -263,14 +283,26 @@ struct ThreadPool::Impl {
       if (victim.get() == &me) continue;
       if (Job* job = victim->deque.steal()) {
         steals.fetch_add(1, std::memory_order_relaxed);
+        me.steals.fetch_add(1, std::memory_order_relaxed);
+        TRACE_INSTANT("pool", "steal");
         return job;
       }
     }
     return nullptr;
   }
 
-  void execute(Job* job) {
-    job->fn();
+  void execute(Worker& me, Job* job) {
+    {
+      TRACE_SCOPE("pool", "job");
+      const auto t0 = std::chrono::steady_clock::now();
+      job->fn();
+      me.busy_ns.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count(),
+          std::memory_order_relaxed);
+      me.jobs.fetch_add(1, std::memory_order_relaxed);
+    }
     delete job;
     if (inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       const std::lock_guard<std::mutex> lock(idle_mutex);
@@ -280,14 +312,15 @@ struct ThreadPool::Impl {
 
   void worker_main(Worker& me) {
     tls_worker = {this, &me};
+    obs::set_thread_name("pool-worker-" + std::to_string(me.index));
     for (;;) {
       if (Job* job = find_work(me)) {
-        execute(job);
+        execute(me, job);
         continue;
       }
       const std::uint64_t seen = signals.load(std::memory_order_acquire);
       if (Job* job = find_work(me)) {
-        execute(job);
+        execute(me, job);
         continue;
       }
       std::unique_lock<std::mutex> lock(wake_mutex);
@@ -304,8 +337,10 @@ struct ThreadPool::Impl {
     threads = n;
     workers.clear();
     workers.reserve(n);
+    spawned_at = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < n; ++i) {
       workers.push_back(std::make_unique<Worker>());
+      workers.back()->index = i;
     }
     // Spawn only after the vector is fully built: workers scan each other's
     // deques when stealing.
@@ -402,6 +437,27 @@ std::size_t ThreadPool::steal_count() const {
   return impl_->steals.load(std::memory_order_relaxed);
 }
 
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(impl_->workers.size());
+  for (const auto& w : impl_->workers) {
+    WorkerStats s;
+    s.jobs = w->jobs.load(std::memory_order_relaxed);
+    s.steals = w->steals.load(std::memory_order_relaxed);
+    s.busy_seconds =
+        static_cast<double>(w->busy_ns.load(std::memory_order_relaxed)) / 1e9;
+    s.queue_depth = w->deque.size();
+    out.push_back(s);
+  }
+  return out;
+}
+
+double ThreadPool::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       impl_->spawned_at)
+      .count();
+}
+
 void ThreadPool::run_items(std::size_t nitems, ItemFn fn, void* ctx) {
   if (nitems == 0) return;
   // Serial fast path: same item grid, same order, zero scheduling. Loops are
@@ -412,6 +468,7 @@ void ThreadPool::run_items(std::size_t nitems, ItemFn fn, void* ctx) {
     return;
   }
 
+  TRACE_SCOPE("pool", "parallel_loop");
   auto state = std::make_shared<LoopState>(nitems, fn, ctx);
   // The caller participates, so at most min(threads, nitems) slots are ever
   // allocated — scratch sized num_threads()-wide is always sufficient.

@@ -29,9 +29,11 @@
 // nesting DAG.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <type_traits>
+#include <vector>
 
 namespace tsunami {
 
@@ -78,6 +80,25 @@ class ThreadPool {
 
   /// Cumulative cross-worker steals (observability for the stress tests).
   [[nodiscard]] std::size_t steal_count() const;
+
+  /// Point-in-time counters of one worker thread, indexed [0, num_threads()).
+  /// Counts reset when the worker set is respawned (construction, resize());
+  /// the pool-wide steal_count() persists across resizes.
+  struct WorkerStats {
+    std::uint64_t jobs = 0;       ///< jobs executed (submit jobs + loop helpers)
+    std::uint64_t steals = 0;     ///< successful steals performed BY this worker
+    double busy_seconds = 0.0;    ///< wall time spent inside job bodies
+    std::size_t queue_depth = 0;  ///< entries currently in its deque
+  };
+
+  /// Per-worker counters, one entry per worker. Safe to call concurrently
+  /// with running work (counters are relaxed atomics); not concurrently with
+  /// resize().
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+
+  /// Seconds since the current worker set was spawned (utilization
+  /// denominator: busy_seconds / uptime_seconds).
+  [[nodiscard]] double uptime_seconds() const;
 
   /// Runs `f(item, slot)` for every item in [0, nitems). Blocks until all
   /// items complete; the calling thread participates. `slot` is a dense

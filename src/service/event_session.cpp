@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace tsunami {
 
 EventSession::EventSession(EventId id,
@@ -144,6 +146,7 @@ void EventSession::assimilate(const Block& block,
 }
 
 void EventSession::publish_after_push(ServiceTelemetry& telemetry) {
+  TRACE_SCOPE("service", "publish");
   telemetry.on_push(assim_.last_push_seconds());
 
   assim_.forecast_into(staging_forecast_);

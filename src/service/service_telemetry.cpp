@@ -1,28 +1,14 @@
 #include "service/service_telemetry.hpp"
 
-#include <algorithm>
 #include <cstdio>
-#include <stdexcept>
-#include <vector>
 
 #include "util/table.hpp"
 
 namespace tsunami {
 
-ServiceTelemetry::ServiceTelemetry(std::size_t window) : window_(window) {
-  if (window == 0)
-    throw std::invalid_argument("ServiceTelemetry: window == 0");
-  latency_ring_ = std::make_unique<std::atomic<double>[]>(window);
-  for (std::size_t i = 0; i < window; ++i)
-    latency_ring_[i].store(0.0, relaxed);
-}
-
 void ServiceTelemetry::on_push(double seconds) {
   ticks_assimilated_.fetch_add(1, relaxed);
-  // One fetch_add reserves a unique slot — concurrent writers never touch
-  // the same element, and there is no index/filled pair to tear.
-  const std::uint64_t pos = ring_pos_.fetch_add(1, relaxed);
-  latency_ring_[pos % window_].store(seconds, relaxed);
+  push_latency_.record(seconds);
 }
 
 TelemetrySnapshot ServiceTelemetry::snapshot() const {
@@ -41,13 +27,37 @@ TelemetrySnapshot ServiceTelemetry::snapshot() const {
       s.wall_seconds > 0.0
           ? static_cast<double>(s.ticks_assimilated) / s.wall_seconds
           : 0.0;
-  const std::size_t filled = static_cast<std::size_t>(
-      std::min<std::uint64_t>(ring_pos_.load(relaxed), window_));
-  std::vector<double> sample(filled);
-  for (std::size_t i = 0; i < filled; ++i)
-    sample[i] = latency_ring_[i].load(relaxed);
-  s.push_latency = summarize_latencies(std::move(sample));
+  s.push_histogram = push_latency_.snapshot();
+  s.push_latency.count = s.push_histogram.count;
+  s.push_latency.mean = s.push_histogram.mean();
+  s.push_latency.max = s.push_histogram.max;
+  s.push_latency.p50 = s.push_histogram.percentile(50.0);
+  s.push_latency.p95 = s.push_histogram.percentile(95.0);
+  s.push_latency.p99 = s.push_histogram.percentile(99.0);
   return s;
+}
+
+void ServiceTelemetry::collect_into(obs::MetricsSnapshot& snapshot) const {
+  snapshot.counter("tsunami_service_events_opened_total",
+                   static_cast<double>(events_opened_.load(relaxed)), {},
+                   "Event sessions ever opened");
+  snapshot.counter("tsunami_service_events_closed_total",
+                   static_cast<double>(events_closed_.load(relaxed)), {},
+                   "Event sessions closed");
+  const std::uint64_t opened = events_opened_.load(relaxed);
+  const std::uint64_t closed = events_closed_.load(relaxed);
+  snapshot.gauge("tsunami_service_events_in_flight",
+                 static_cast<double>(closed > opened ? 0 : opened - closed),
+                 {}, "Event sessions currently open");
+  snapshot.counter("tsunami_service_ticks_assimilated_total",
+                   static_cast<double>(ticks_assimilated_.load(relaxed)), {},
+                   "Observation ticks assimilated");
+  snapshot.counter("tsunami_service_ticks_rejected_total",
+                   static_cast<double>(ticks_rejected_.load(relaxed)), {},
+                   "Ticks rejected by backpressure");
+  snapshot.histogram("tsunami_service_push_latency_seconds",
+                     push_latency_.snapshot(), {},
+                     "Per-tick assimilation latency (lifetime)");
 }
 
 std::string TelemetrySnapshot::str() const {

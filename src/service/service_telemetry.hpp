@@ -7,21 +7,19 @@
 // the push-latency distribution look like (one slow push during a real
 // event is a late alert). This collector is written to by every worker
 // thread on every push, so it must be cheap and thread-safe: counters are
-// relaxed atomics, and latencies land in a LOCK-FREE ring that keeps the
-// most recent `window` samples for percentile estimation (p50/p95/p99 via
-// util/stats — the same estimator the ScenarioBank reports use). Writers
-// reserve a unique slot with one fetch_add on the ring position — the old
-// mutex-guarded ring serialized every concurrent push on one lock, and a
-// pre-mutex draft that bumped a relaxed non-atomic index under concurrent
-// writers could tear pairs of writes; the fetch_add closes that race window
-// for good (covered by a TSan multi-writer test).
+// relaxed atomics, and latencies land in a lock-free obs::Histogram —
+// log-bucketed, mergeable, covering the FULL LIFETIME of the service rather
+// than the most recent 64k samples the old ring retained. Percentiles are
+// exact-rank over the bucket counts (relative quantization error bounded by
+// 1/Histogram::kSubBuckets; asserted against exact computation in
+// tests/test_obs.cpp), and a snapshot is an O(buckets) walk instead of the
+// old O(window log window) sort.
 
 #include <atomic>
-#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -39,9 +37,12 @@ struct TelemetrySnapshot {
   /// rate a load test wants is (delta ticks) / (delta wall) between two
   /// snapshots.
   double ticks_per_second = 0.0;
-  /// Push-latency distribution over the retained window (count = samples
-  /// currently in the window, not lifetime pushes).
+  /// Push-latency distribution over the service LIFETIME (count = every
+  /// push ever recorded; quantiles from the log-bucketed histogram).
   LatencySummary push_latency;
+  /// The underlying mergeable histogram — combine shards or repeated runs
+  /// with .merge(), re-derive any quantile with .percentile().
+  obs::HistogramSnapshot push_histogram;
 
   /// One-line operator summary ("events 12 | 3.4k ticks/s | p99 180 us").
   [[nodiscard]] std::string str() const;
@@ -50,8 +51,7 @@ struct TelemetrySnapshot {
 /// Thread-safe telemetry collector owned by a WarningService.
 class ServiceTelemetry {
  public:
-  /// `window` bounds the latency ring (and the cost of a snapshot sort).
-  explicit ServiceTelemetry(std::size_t window = 1 << 16);
+  ServiceTelemetry() = default;
 
   void on_event_opened() { events_opened_.fetch_add(1, relaxed); }
   void on_event_closed() { events_closed_.fetch_add(1, relaxed); }
@@ -62,6 +62,10 @@ class ServiceTelemetry {
 
   [[nodiscard]] TelemetrySnapshot snapshot() const;
 
+  /// Contribute the service series (counters + the push-latency histogram,
+  /// named tsunami_service_*) to a metrics export.
+  void collect_into(obs::MetricsSnapshot& snapshot) const;
+
  private:
   static constexpr auto relaxed = std::memory_order_relaxed;
 
@@ -70,15 +74,7 @@ class ServiceTelemetry {
   std::atomic<std::uint64_t> ticks_assimilated_{0};
   std::atomic<std::uint64_t> ticks_rejected_{0};
   Stopwatch since_start_;
-
-  /// Lock-free latency ring: `ring_pos_` hands each writer a unique slot;
-  /// slots are atomic doubles so a snapshot racing a writer reads either
-  /// the old or the new sample, never a torn one. A slot reserved but not
-  /// yet stored reads as its previous value (0.0 when never written) — a
-  /// one-sample skew a percentile estimate cannot notice.
-  std::size_t window_ = 0;
-  std::unique_ptr<std::atomic<double>[]> latency_ring_;
-  std::atomic<std::uint64_t> ring_pos_{0};  ///< total samples ever recorded
+  obs::Histogram push_latency_;  ///< seconds; wait-free multi-writer
 };
 
 }  // namespace tsunami

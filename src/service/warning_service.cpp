@@ -6,12 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace tsunami {
 
 WarningService::WarningService(const ServiceOptions& options)
-    : options_(options), telemetry_(options.telemetry_window) {
+    : options_(options) {
   if (options_.num_workers == 0)
     throw std::invalid_argument("WarningService: num_workers == 0");
   if (options_.max_pending_per_event == 0)
@@ -133,6 +134,7 @@ void WarningService::pump_locked() {
 void WarningService::run_drain(std::shared_ptr<EventSession> leader) {
   // The session arrives with its scheduled flag held (won by the submit that
   // enqueued it), so this job is its sole drainer until release.
+  TRACE_SCOPE("service", "drain");
   if (options_.cross_event_batching && options_.max_batch_events > 1)
     drain_batched(std::move(leader));
   else
@@ -169,6 +171,7 @@ void WarningService::drain_batched(std::shared_ptr<EventSession> leader) {
   // strict tick order through the same FP operations (push_many is
   // bit-identical to serial pushes by construction), so batching cannot
   // change any event's result — only how many slab sweeps pay for them.
+  TRACE_SCOPE("service", "drain_batched");
   std::vector<StreamingAssimilator*> group_events;
   std::vector<std::span<const double>> group_blocks;
   while (!active.empty()) {

@@ -60,8 +60,6 @@ struct ServiceOptions {
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// Alert rule applied when open_event() is not given one.
   AlertPolicy default_alert{};
-  /// Latency samples retained for the telemetry percentiles.
-  std::size_t telemetry_window = 1 << 16;
   /// Fuse tick-aligned pushes from sessions sharing one engine into one
   /// multi-RHS slab sweep (StreamingAssimilator::push_many). Bit-identical
   /// to unbatched draining — per-event results cannot depend on who else is
@@ -111,6 +109,11 @@ class WarningService {
 
   [[nodiscard]] TelemetrySnapshot telemetry() const {
     return telemetry_.snapshot();
+  }
+  /// Contribute the service's metric series (tsunami_service_*) to an
+  /// export snapshot; render with obs::prometheus_text / obs::json_text.
+  void collect_metrics(obs::MetricsSnapshot& snapshot) const {
+    telemetry_.collect_into(snapshot);
   }
   [[nodiscard]] std::size_t events_in_flight() const;
   [[nodiscard]] const ServiceOptions& options() const { return options_; }

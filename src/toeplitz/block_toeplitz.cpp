@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace tsunami {
@@ -175,6 +176,7 @@ BlockToeplitz::BlockToeplitz(std::size_t rows, std::size_t cols,
   // with one spectrum + FFT scratch slab per loop participant (no per-signal
   // temporaries). Entry (r, c) of block k sits at blocks[k * nrc + rc]:
   // base rc, stride nrc — the strided r2c pack reads it in place.
+  TRACE_SCOPE("kernel", "build_spectra");
   const std::size_t scr = plan_.scratch_size();
   const auto nthreads = static_cast<std::size_t>(num_threads());
   std::vector<Complex> fft_scratch(nthreads * scr);
@@ -203,6 +205,7 @@ std::size_t BlockToeplitz::prepare_thread_scratch(ToeplitzWorkspace& ws) const {
 void BlockToeplitz::forward_channels(const double* x, std::size_t nchan,
                                      std::size_t nrhs, std::size_t in_ticks,
                                      ToeplitzWorkspace& ws) const {
+  TRACE_SCOPE("kernel", "fft_forward");
   // Signal s = c * nrhs + v lives at x[t * nsig + s]: base s, stride nsig.
   // Spectra land in the split-complex slab at [w * nsig + s].
   const std::size_t nsig = nchan * nrhs;
@@ -226,6 +229,7 @@ void BlockToeplitz::forward_channels(const double* x, std::size_t nchan,
 void BlockToeplitz::inverse_channels(std::size_t nchan, std::size_t nrhs,
                                      std::span<double> y,
                                      ToeplitzWorkspace& ws) const {
+  TRACE_SCOPE("kernel", "fft_inverse");
   const std::size_t nsig = nchan * nrhs;
   const std::size_t scr = prepare_thread_scratch(ws);
   const double* yre = ws.yhat_re_.data();
@@ -245,6 +249,7 @@ void BlockToeplitz::inverse_channels(std::size_t nchan, std::size_t nrhs,
 void BlockToeplitz::apply_impl(const double* x, double* y, std::size_t nrhs,
                                std::size_t in_ticks, bool transpose,
                                ToeplitzWorkspace& ws) const {
+  TRACE_SCOPE("kernel", "toeplitz_apply");
   const std::size_t nin = transpose ? rows_ : cols_;
   const std::size_t nout = transpose ? cols_ : rows_;
   forward_channels(x, nin, nrhs, in_ticks, ws);
@@ -263,25 +268,28 @@ void BlockToeplitz::apply_impl(const double* x, double* y, std::size_t nrhs,
   // Per-frequency block GEMM — the paper's batched-BLAS kernel. Every
   // frequency is independent; each writes a disjoint slab slice, so the
   // result is deterministic for any thread count.
-  parallel_for(nfreq_, [&](std::size_t w) {
-    const double* fwre = fre + w * rows * cols;
-    const double* fwim = fim + w * rows * cols;
-    const double* xwre = xre + w * nin * nrhs;
-    const double* xwim = xim + w * nin * nrhs;
-    double* ywre = yre + w * nout * nrhs;
-    double* ywim = yim + w * nout * nrhs;
-    if (transpose) {
-      if (nrhs == 1)
-        matvec_freq_herm(fwre, fwim, xwre, xwim, ywre, ywim, rows, cols);
-      else
-        gemm_freq_herm(fwre, fwim, xwre, xwim, ywre, ywim, rows, cols, nrhs);
-    } else {
-      if (nrhs == 1)
-        matvec_freq(fwre, fwim, xwre, xwim, ywre, ywim, rows, cols);
-      else
-        gemm_freq(fwre, fwim, xwre, xwim, ywre, ywim, rows, cols, nrhs);
-    }
-  });
+  {
+    TRACE_SCOPE("kernel", "freq_gemm");
+    parallel_for(nfreq_, [&](std::size_t w) {
+      const double* fwre = fre + w * rows * cols;
+      const double* fwim = fim + w * rows * cols;
+      const double* xwre = xre + w * nin * nrhs;
+      const double* xwim = xim + w * nin * nrhs;
+      double* ywre = yre + w * nout * nrhs;
+      double* ywim = yim + w * nout * nrhs;
+      if (transpose) {
+        if (nrhs == 1)
+          matvec_freq_herm(fwre, fwim, xwre, xwim, ywre, ywim, rows, cols);
+        else
+          gemm_freq_herm(fwre, fwim, xwre, xwim, ywre, ywim, rows, cols, nrhs);
+      } else {
+        if (nrhs == 1)
+          matvec_freq(fwre, fwim, xwre, xwim, ywre, ywim, rows, cols);
+        else
+          gemm_freq(fwre, fwim, xwre, xwim, ywre, ywim, rows, cols, nrhs);
+      }
+    });
+  }
   inverse_channels(nout, nrhs, std::span<double>(y, nt_ * nout * nrhs), ws);
 }
 

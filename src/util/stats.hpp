@@ -23,7 +23,8 @@ namespace tsunami {
 [[nodiscard]] double percentile_sorted(std::span<const double> sorted,
                                        double q);
 
-/// As above for an unsorted sample: copies and sorts (O(n log n)).
+/// As above for an unsorted sample: copies, then selects the bracketing
+/// ranks with std::nth_element — O(n) expected, no full sort.
 [[nodiscard]] double percentile(std::span<const double> sample, double q);
 
 /// The five numbers every latency table in this repo prints. Aggregated
@@ -37,8 +38,10 @@ struct LatencySummary {
   double p99 = 0.0;
 };
 
-/// Sorts `sample` in place and fills a LatencySummary from it (one sort
-/// serves all three percentiles).
+/// Fills a LatencySummary from `sample` (consumed as scratch). Percentiles
+/// come from per-quantile std::nth_element selection — O(n) expected each,
+/// replacing the old full sort — and agree exactly with the sorted
+/// interpolating estimator (asserted in tests/test_util.cpp).
 [[nodiscard]] LatencySummary summarize_latencies(std::vector<double> sample);
 
 }  // namespace tsunami

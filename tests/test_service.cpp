@@ -493,15 +493,15 @@ TEST_F(ServiceTest, OpenCloseSubmitFuzzHasNoCrossEventLeakage) {
   EXPECT_EQ(service.events_in_flight(), 0u);
 }
 
-// ServiceTelemetry's latency ring is lock-free with one writer slot per
-// fetch_add. Hammer it from many threads (with a concurrent snapshotter):
-// under TSan this is the proof the multi-writer path is race-free, and the
-// counts prove no sample is lost or double-counted.
-TEST(ServiceTelemetryTest, ConcurrentWritersNeverTearTheRing) {
-  constexpr std::size_t kWindow = 1024;
+// ServiceTelemetry's latency store is a lock-free histogram (wait-free
+// bucket fetch_adds). Hammer it from many threads (with a concurrent
+// snapshotter): under TSan this is the proof the multi-writer path is
+// race-free, and the counts prove no sample is lost or double-counted —
+// the histogram covers the LIFETIME, so count equals every push ever made.
+TEST(ServiceTelemetryTest, ConcurrentWritersNeverTearTheHistogram) {
   constexpr int kWriters = 8;
   constexpr int kPushes = 10000;
-  ServiceTelemetry telem(kWindow);
+  ServiceTelemetry telem;
 
   std::atomic<bool> done{false};
   std::thread reader([&] {
@@ -522,11 +522,14 @@ TEST(ServiceTelemetryTest, ConcurrentWritersNeverTearTheRing) {
   const TelemetrySnapshot s = telem.snapshot();
   EXPECT_EQ(s.ticks_assimilated,
             static_cast<std::uint64_t>(kWriters) * kPushes);
-  EXPECT_EQ(s.push_latency.count, kWindow);
-  // Every retained sample is one of the written values — a torn write
-  // would land outside the span.
-  EXPECT_GE(s.push_latency.p50, 1e-6);
+  EXPECT_EQ(s.push_latency.count,
+            static_cast<std::uint64_t>(kWriters) * kPushes);
+  EXPECT_EQ(s.push_histogram.count, s.push_latency.count);
+  // Every recorded sample is one of the written values — a torn or lost
+  // write would land outside the span (min/max are exact, not quantized).
+  EXPECT_GE(s.push_latency.p50, 1e-6 * (1.0 - 1.0 / 32.0));
   EXPECT_LE(s.push_latency.max, kWriters * 1e-6);
+  EXPECT_GE(s.push_histogram.min, 1e-6);
 }
 
 }  // namespace

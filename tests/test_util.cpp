@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "util/memory_tracker.hpp"
 #include "util/rng.hpp"
@@ -114,6 +117,28 @@ TEST(Stats, LatencySummaryIsOrderedAndComplete) {
   const LatencySummary empty = summarize_latencies({});
   EXPECT_EQ(empty.count, 0u);
   EXPECT_EQ(empty.max, 0.0);
+}
+
+// percentile() now selects with nth_element instead of sorting; it must be
+// indistinguishable from the sorted interpolating estimator on arbitrary
+// (ties, duplicates, adversarial-order) samples.
+TEST(Stats, SelectionPercentileMatchesSortedEstimator) {
+  Rng rng(1234);
+  for (const std::size_t n : {1u, 2u, 3u, 17u, 100u, 1001u}) {
+    std::vector<double> sample(n);
+    for (auto& v : sample) v = std::floor(rng.uniform() * 32.0) * 1e-6;
+    std::vector<double> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double q : {0.0, 1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(percentile(sample, q), percentile_sorted(sorted, q))
+          << "n=" << n << " q=" << q;
+    }
+    const LatencySummary s = summarize_latencies(sample);
+    EXPECT_DOUBLE_EQ(s.p50, percentile_sorted(sorted, 50.0));
+    EXPECT_DOUBLE_EQ(s.p95, percentile_sorted(sorted, 95.0));
+    EXPECT_DOUBLE_EQ(s.p99, percentile_sorted(sorted, 99.0));
+    EXPECT_DOUBLE_EQ(s.max, sorted.back());
+  }
 }
 
 TEST(ScopedTimer, RecordsOnDestruction) {
