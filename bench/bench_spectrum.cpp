@@ -93,12 +93,12 @@ int main() {
     gemv(misfit, x, y);
   };
   TextTable lowrank({"rank k", "k / data dim", "range residual fraction"});
-  for (std::size_t k : {n / 16, n / 8, n / 4, n / 2, n - 10}) {
-    if (k == 0) continue;
-    const auto approx = randomized_eigenvalues(misfit_op, n, k, 8, 2);
+  for (std::size_t rank : {n / 16, n / 8, n / 4, n / 2, n - 10}) {
+    if (rank == 0) continue;
+    const auto approx = randomized_eigenvalues(misfit_op, n, rank, 8, 2);
     lowrank.row()
-        .cell(static_cast<long>(k))
-        .cell(static_cast<double>(k) / static_cast<double>(n), 2)
+        .cell(static_cast<long>(rank))
+        .cell(static_cast<double>(rank) / static_cast<double>(n), 2)
         .cell(approx.residual_fraction, 3);
   }
   std::printf("%s\n", lowrank.str().c_str());

@@ -165,7 +165,10 @@ int main(int argc, char** argv) {
         lo[t] = fc.at(fc.lower95, t, g);
         hi[t] = fc.at(fc.upper95, t, g);
       }
-      const std::string tag = "g" + std::to_string(g);
+      // Built by append (not `"g" + std::to_string(g)`) to dodge a GCC 12
+      // -Wrestrict false positive in the char* + string&& operator+ inline.
+      std::string tag("g");
+      tag += std::to_string(g);
       names.push_back(tag + "_true");
       names.push_back(tag + "_pred");
       names.push_back(tag + "_lo95");

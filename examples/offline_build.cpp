@@ -70,8 +70,12 @@ int main(int argc, char** argv) {
   TextTable table({"section", "shape", "MB"});
   for (const auto& s : bundle.sections()) {
     std::string shape;
-    for (std::size_t i = 0; i < s.dims.size(); ++i)
-      shape += (i ? "x" : "") + std::to_string(s.dims[i]);
+    for (std::size_t i = 0; i < s.dims.size(); ++i) {
+      // Appends (not char* + string&& operator+) dodge a GCC 12 -Wrestrict
+      // false positive inlined from libstdc++.
+      if (i != 0) shape += 'x';
+      shape += std::to_string(s.dims[i]);
+    }
     table.row().cell(s.name).cell(shape).cell(
         static_cast<double>(s.data.size() * sizeof(double)) / 1e6, 3);
   }

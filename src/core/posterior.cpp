@@ -27,15 +27,16 @@ Posterior::Posterior(const BlockToeplitz& f, const MaternPrior& prior,
     throw std::invalid_argument("Posterior: Hessian/data dim mismatch");
 }
 
-void Posterior::apply_gstar(std::span<const double> y, std::span<double> m,
-                            Workspace& ws) const {
-  ws.param_a.resize(parameter_dim());
+TSUNAMI_HOT_PATH void Posterior::apply_gstar(std::span<const double> y,
+                                             std::span<double> m,
+                                             Workspace& ws) const {
+  ws.param_a.resize(parameter_dim());  // lint: allow(hot-path-alloc) grow-once workspace
   f_.apply_transpose(y, std::span<double>(ws.param_a), ws.toeplitz);
   prior_.apply_time_blocks(ws.param_a, m, time_dim());
 }
 
-void Posterior::apply_gstar(std::span<const double> y,
-                            std::span<double> m) const {
+TSUNAMI_HOT_PATH void Posterior::apply_gstar(std::span<const double> y,
+                                             std::span<double> m) const {
   apply_gstar(y, m, tls_workspace());
 }
 
@@ -47,43 +48,47 @@ void Posterior::apply_gstar_many(const Matrix& y_cols, Matrix& m_cols) const {
   prior_.apply_time_blocks_columns(ft_cols, m_cols, time_dim());
 }
 
-void Posterior::apply_gstar_prefix(std::span<const double> y,
-                                   std::size_t ticks, std::span<double> m,
-                                   Workspace& ws) const {
+TSUNAMI_HOT_PATH void Posterior::apply_gstar_prefix(std::span<const double> y,
+                                                    std::size_t ticks,
+                                                    std::span<double> m,
+                                                    Workspace& ws) const {
   const std::size_t nd = f_.block_rows();
   if (ticks > time_dim() || y.size() < ticks * nd)
     throw std::invalid_argument("Posterior::apply_gstar_prefix: bad prefix");
   // Zero-padding the unseen intervals is exact: the missing rows of F
   // contribute nothing to F^T y when their data weights are zero. The
   // Toeplitz prefix path pads inside the FFT pack — no padded copy here.
-  ws.param_a.resize(parameter_dim());
+  ws.param_a.resize(parameter_dim());  // lint: allow(hot-path-alloc) grow-once workspace
   f_.apply_transpose_prefix(y.first(ticks * nd), ticks,
                             std::span<double>(ws.param_a), ws.toeplitz);
   prior_.apply_time_blocks(ws.param_a, m, time_dim());
 }
 
-void Posterior::apply_gstar_prefix(std::span<const double> y,
-                                   std::size_t ticks,
-                                   std::span<double> m) const {
+TSUNAMI_HOT_PATH void Posterior::apply_gstar_prefix(std::span<const double> y,
+                                                    std::size_t ticks,
+                                                    std::span<double> m) const {
   apply_gstar_prefix(y, ticks, m, tls_workspace());
 }
 
-void Posterior::apply_g(std::span<const double> v, std::span<double> d,
-                        Workspace& ws) const {
-  ws.param_a.resize(parameter_dim());
+TSUNAMI_HOT_PATH void Posterior::apply_g(std::span<const double> v,
+                                         std::span<double> d,
+                                         Workspace& ws) const {
+  ws.param_a.resize(parameter_dim());  // lint: allow(hot-path-alloc) grow-once workspace
   prior_.apply_time_blocks(v, std::span<double>(ws.param_a), time_dim());
   f_.apply(ws.param_a, d, ws.toeplitz);
 }
 
-void Posterior::apply_g(std::span<const double> v, std::span<double> d) const {
+TSUNAMI_HOT_PATH void Posterior::apply_g(std::span<const double> v,
+                                         std::span<double> d) const {
   apply_g(v, d, tls_workspace());
 }
 
-void Posterior::map_point(std::span<const double> d_obs, std::span<double> m,
-                          Workspace& ws) const {
+TSUNAMI_HOT_PATH void Posterior::map_point(std::span<const double> d_obs,
+                                           std::span<double> m,
+                                           Workspace& ws) const {
   if (d_obs.size() != data_dim() || m.size() != parameter_dim())
     throw std::invalid_argument("Posterior::map_point: size mismatch");
-  ws.data_a.resize(data_dim());
+  ws.data_a.resize(data_dim());  // lint: allow(hot-path-alloc) grow-once workspace
   hess_.solve(d_obs, std::span<double>(ws.data_a));
   apply_gstar(ws.data_a, m, ws);
 }
@@ -94,14 +99,15 @@ std::vector<double> Posterior::map_point(std::span<const double> d_obs) const {
   return m;
 }
 
-void Posterior::covariance_apply(std::span<const double> x,
-                                 std::span<double> y, Workspace& ws) const {
+TSUNAMI_HOT_PATH void Posterior::covariance_apply(std::span<const double> x,
+                                                  std::span<double> y,
+                                                  Workspace& ws) const {
   if (x.size() != parameter_dim() || y.size() != parameter_dim())
     throw std::invalid_argument("Posterior::covariance_apply: size mismatch");
   // y = Gamma_prior x - G* K^{-1} G x.
-  ws.data_a.resize(data_dim());
-  ws.data_b.resize(data_dim());
-  ws.param_b.resize(parameter_dim());
+  ws.data_a.resize(data_dim());  // lint: allow(hot-path-alloc) grow-once workspace
+  ws.data_b.resize(data_dim());  // lint: allow(hot-path-alloc) grow-once workspace
+  ws.param_b.resize(parameter_dim());  // lint: allow(hot-path-alloc) grow-once workspace
   apply_g(x, std::span<double>(ws.data_a), ws);
   hess_.solve(ws.data_a, std::span<double>(ws.data_b));
   apply_gstar(ws.data_b, std::span<double>(ws.param_b), ws);
@@ -109,8 +115,8 @@ void Posterior::covariance_apply(std::span<const double> x,
   axpy(-1.0, ws.param_b, y);
 }
 
-void Posterior::covariance_apply(std::span<const double> x,
-                                 std::span<double> y) const {
+TSUNAMI_HOT_PATH void Posterior::covariance_apply(std::span<const double> x,
+                                                  std::span<double> y) const {
   covariance_apply(x, y, tls_workspace());
 }
 

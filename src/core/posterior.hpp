@@ -14,6 +14,7 @@
 #include "core/data_space_hessian.hpp"
 #include "prior/matern_prior.hpp"
 #include "toeplitz/block_toeplitz.hpp"
+#include "util/hot_path.hpp"
 #include "util/rng.hpp"
 
 namespace tsunami {
@@ -44,9 +45,10 @@ class Posterior {
   [[nodiscard]] std::size_t time_dim() const { return f_.num_blocks(); }
 
   /// G* y = Gamma_prior F^T y  (data space -> parameter space).
-  void apply_gstar(std::span<const double> y, std::span<double> m) const;
-  void apply_gstar(std::span<const double> y, std::span<double> m,
-                   Workspace& ws) const;
+  TSUNAMI_HOT_PATH void apply_gstar(std::span<const double> y,
+                                    std::span<double> m) const;
+  TSUNAMI_HOT_PATH void apply_gstar(std::span<const double> y,
+                                    std::span<double> m, Workspace& ws) const;
 
   /// Multi-RHS G*: columns of `y_cols` (data_dim rows) mapped column-wise to
   /// `m_cols` (parameter_dim rows). Batches the Toeplitz transpose through
@@ -59,29 +61,35 @@ class Posterior {
   /// exactly G restricted to the rows available at tick `ticks` — the
   /// adjoint the truncated (streaming) posterior needs. The zero padding is
   /// implicit in the FFT pack pass; no padded copy is built.
-  void apply_gstar_prefix(std::span<const double> y, std::size_t ticks,
-                          std::span<double> m) const;
-  void apply_gstar_prefix(std::span<const double> y, std::size_t ticks,
-                          std::span<double> m, Workspace& ws) const;
+  TSUNAMI_HOT_PATH void apply_gstar_prefix(std::span<const double> y,
+                                           std::size_t ticks,
+                                           std::span<double> m) const;
+  TSUNAMI_HOT_PATH void apply_gstar_prefix(std::span<const double> y,
+                                           std::size_t ticks,
+                                           std::span<double> m,
+                                           Workspace& ws) const;
 
   /// G v = F Gamma_prior v  (parameter space -> data space).
-  void apply_g(std::span<const double> v, std::span<double> d) const;
-  void apply_g(std::span<const double> v, std::span<double> d,
-               Workspace& ws) const;
+  TSUNAMI_HOT_PATH void apply_g(std::span<const double> v,
+                                std::span<double> d) const;
+  TSUNAMI_HOT_PATH void apply_g(std::span<const double> v,
+                                std::span<double> d, Workspace& ws) const;
 
   /// MAP point / posterior mean: m_map = G* K^{-1} d_obs.
   [[nodiscard]] std::vector<double> map_point(
       std::span<const double> d_obs) const;
   /// In-place MAP point into `m` (parameter_dim), no allocation.
-  void map_point(std::span<const double> d_obs, std::span<double> m,
-                 Workspace& ws) const;
+  TSUNAMI_HOT_PATH void map_point(std::span<const double> d_obs,
+                                  std::span<double> m, Workspace& ws) const;
 
   /// y = Gamma_post x  (one "billion-parameter inverse solve" per call in
   /// the paper's phrasing; here two Toeplitz matvecs + prior solves + one
   /// Cholesky solve).
-  void covariance_apply(std::span<const double> x, std::span<double> y) const;
-  void covariance_apply(std::span<const double> x, std::span<double> y,
-                        Workspace& ws) const;
+  TSUNAMI_HOT_PATH void covariance_apply(std::span<const double> x,
+                                         std::span<double> y) const;
+  TSUNAMI_HOT_PATH void covariance_apply(std::span<const double> x,
+                                         std::span<double> y,
+                                         Workspace& ws) const;
 
   /// Pointwise posterior variance of parameter (spatial node r, interval t):
   /// (Gamma_post)_{(r,t),(r,t)} = (Gamma_prior)_rr - g^T K^{-1} g.

@@ -19,8 +19,9 @@ constexpr std::size_t kAccTile = 1024;  // 8 KB: half of a typical L1d
 /// what makes push_many bit-identical to serial pushes BY CONSTRUCTION: per
 /// (event, output column) the adds are the same operations in the same
 /// order either way.
-inline void accumulate_row_tile(const double* row, double zj, double* m,
-                                std::size_t c0, std::size_t c1) {
+TSUNAMI_HOT_PATH inline void accumulate_row_tile(const double* row, double zj,
+                                                 double* m, std::size_t c0,
+                                                 std::size_t c1) {
   for (std::size_t c = c0; c < c1; ++c) m[c] += zj * row[c];
 }
 
@@ -29,9 +30,10 @@ inline void accumulate_row_tile(const double* row, double zj, double* m,
 /// block rows: the naive row-by-row axpy re-streams the whole output vector
 /// (Nm Nt doubles) once per sensor, which dominated push latency for the
 /// MAP slab. The slab rows themselves are read exactly once either way.
-void accumulate_block_rows(const Matrix& slab, const std::vector<double>& z,
-                           std::size_t p0, std::size_t p1,
-                           std::vector<double>& out) {
+TSUNAMI_HOT_PATH void accumulate_block_rows(const Matrix& slab,
+                                            const std::vector<double>& z,
+                                            std::size_t p0, std::size_t p1,
+                                            std::vector<double>& out) {
   const std::size_t ncols = slab.cols();
   const double* w = slab.data();
   double* m = out.data();
@@ -49,10 +51,9 @@ void accumulate_block_rows(const Matrix& slab, const std::vector<double>& z,
 /// output columns), so the caller may parallelize over them; within a tile
 /// the loop order tile -> j -> k -> c keeps, for every (k, c), the same
 /// j-ascending addition order as accumulate_block_rows.
-void accumulate_block_rows_many(const Matrix& slab, std::size_t p0,
-                                std::size_t p1,
-                                std::span<const double* const> zs,
-                                std::span<double* const> outs) {
+TSUNAMI_HOT_PATH void accumulate_block_rows_many(
+    const Matrix& slab, std::size_t p0, std::size_t p1,
+    std::span<const double* const> zs, std::span<double* const> outs) {
   const std::size_t ncols = slab.cols();
   const std::size_t nk = zs.size();
   const double* w = slab.data();
@@ -184,8 +185,8 @@ StreamingAssimilator::StreamingAssimilator(const StreamingEngine& engine)
       q_mean_(engine.qoi_dim(), 0.0),
       m_map_(engine.tracks_map() ? engine.parameter_dim() : 0, 0.0) {}
 
-void StreamingAssimilator::push(std::size_t tick,
-                                std::span<const double> d_block) {
+TSUNAMI_HOT_PATH void StreamingAssimilator::push(
+    std::size_t tick, std::span<const double> d_block) {
   eng_.check_alive("StreamingAssimilator::push");
   if (complete())
     throw std::logic_error("StreamingAssimilator::push: event window full");
@@ -213,7 +214,7 @@ void StreamingAssimilator::push(std::size_t tick,
   total_push_seconds_ += last_push_seconds_;
 }
 
-void StreamingAssimilator::push_many(
+TSUNAMI_HOT_PATH void StreamingAssimilator::push_many(
     std::span<StreamingAssimilator* const> events, std::size_t tick,
     std::span<const std::span<const double>> blocks) {
   const std::size_t nk = events.size();
@@ -261,18 +262,28 @@ void StreamingAssimilator::push_many(
     eng.post_.hessian().cholesky().forward_solve_range(ev->z_, p0, p1);
   });
 
-  // One sweep over each slab's new block rows serves every event.
-  std::vector<const double*> zs(nk);
-  std::vector<double*> q_outs(nk);
+  // One sweep over each slab's new block rows serves every event. The
+  // pointer tables live in thread_local scratch that grows to the largest
+  // batch this thread has seen and is then reused, so steady-state batched
+  // pushes stay allocation-free (proved by tests/test_debug.cpp).
+  static thread_local std::vector<const double*> zs;
+  static thread_local std::vector<double*> q_outs;
+  static thread_local std::vector<double*> m_outs;
+  zs.resize(nk);      // lint: allow(hot-path-alloc) grow-once scratch
+  q_outs.resize(nk);  // lint: allow(hot-path-alloc) grow-once scratch
   for (std::size_t k = 0; k < nk; ++k) {
     zs[k] = events[k]->z_.data();
     q_outs[k] = events[k]->q_mean_.data();
   }
-  accumulate_block_rows_many(eng.r_, p0, p1, zs, q_outs);
+  accumulate_block_rows_many(eng.r_, p0, p1,
+                             std::span<const double* const>(zs),
+                             std::span<double* const>(q_outs));
   if (eng.tracks_map()) {
-    std::vector<double*> m_outs(nk);
+    m_outs.resize(nk);  // lint: allow(hot-path-alloc) grow-once scratch
     for (std::size_t k = 0; k < nk; ++k) m_outs[k] = events[k]->m_map_.data();
-    accumulate_block_rows_many(eng.wstar_, p0, p1, zs, m_outs);
+    accumulate_block_rows_many(eng.wstar_, p0, p1,
+                               std::span<const double* const>(zs),
+                               std::span<double* const>(m_outs));
   }
 
   const double per_event = watch.seconds() / static_cast<double>(nk);
@@ -284,17 +295,17 @@ void StreamingAssimilator::push_many(
   }
 }
 
-void StreamingAssimilator::forecast_into(Forecast& fc) const {
+TSUNAMI_HOT_PATH void StreamingAssimilator::forecast_into(Forecast& fc) const {
   eng_.check_alive("StreamingAssimilator::forecast");
   fc.num_gauges = eng_.pred_.num_gauges();
   fc.num_times = eng_.pred_.num_times();
   // assign/resize reuse existing capacity: after the first call on a given
   // Forecast this is copy-only — the per-tick publish path never allocates.
-  fc.mean.assign(q_mean_.begin(), q_mean_.end());
+  fc.mean.assign(q_mean_.begin(), q_mean_.end());  // lint: allow(hot-path-alloc) capacity reuse
   const auto sd = eng_.stddev_after(t_);
-  fc.stddev.assign(sd.begin(), sd.end());
-  fc.lower95.resize(q_mean_.size());
-  fc.upper95.resize(q_mean_.size());
+  fc.stddev.assign(sd.begin(), sd.end());  // lint: allow(hot-path-alloc) capacity reuse
+  fc.lower95.resize(q_mean_.size());  // lint: allow(hot-path-alloc) capacity reuse
+  fc.upper95.resize(q_mean_.size());  // lint: allow(hot-path-alloc) capacity reuse
   for (std::size_t i = 0; i < q_mean_.size(); ++i) {
     fc.lower95[i] = fc.mean[i] - 1.96 * fc.stddev[i];
     fc.upper95[i] = fc.mean[i] + 1.96 * fc.stddev[i];

@@ -55,6 +55,7 @@
 #include "core/forecast.hpp"
 #include "core/posterior.hpp"
 #include "linalg/dense.hpp"
+#include "util/hot_path.hpp"
 #include "util/timer.hpp"
 
 namespace tsunami {
@@ -146,7 +147,7 @@ class StreamingAssimilator {
   /// arrive in order at 1 Hz in deployment; gaps/reordering are the
   /// transport layer's problem). `d_block` holds the Nd sensor values of
   /// that interval. Updates z, q_map, and (if tracked) m_map incrementally.
-  void push(std::size_t tick, std::span<const double> d_block);
+  TSUNAMI_HOT_PATH void push(std::size_t tick, std::span<const double> d_block);
 
   /// Batched cross-event push: assimilate interval `tick` for K events at
   /// once. All assimilators must share the SAME engine (the slabs are
@@ -158,9 +159,9 @@ class StreamingAssimilator {
   /// additions in the same j-ascending order as the single-event path
   /// (asserted by the determinism and service suites). K == 1 degenerates
   /// to push(). Per-event timers record the batch time divided by K.
-  static void push_many(std::span<StreamingAssimilator* const> events,
-                        std::size_t tick,
-                        std::span<const std::span<const double>> blocks);
+  TSUNAMI_HOT_PATH static void push_many(
+      std::span<StreamingAssimilator* const> events, std::size_t tick,
+      std::span<const std::span<const double>> blocks);
 
   [[nodiscard]] std::size_t ticks_received() const { return t_; }
   [[nodiscard]] bool complete() const { return t_ == eng_.num_ticks(); }
@@ -174,7 +175,7 @@ class StreamingAssimilator {
   /// As forecast(), but writes into a caller-owned Forecast whose buffers
   /// are reused — the per-tick publish path of the warning service, free of
   /// allocation after the first call.
-  void forecast_into(Forecast& fc) const;
+  TSUNAMI_HOT_PATH void forecast_into(Forecast& fc) const;
 
   /// Rolling posterior mean of the QoI (the raw accumulator behind
   /// forecast(); no allocation).

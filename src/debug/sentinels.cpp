@@ -1,0 +1,157 @@
+#include "debug/sentinels.hpp"
+
+// The interposers live here, in the SAME translation unit as the counters
+// the ScopedNoAlloc/ScopedNoLock header reads: any test that links a scope
+// forces this object out of the static library, and the replacement
+// operators come with it. Without that co-location the linker would happily
+// drop the interposers and the sentinels would count nothing.
+
+#if defined(TSUNAMI_CHECKS)
+
+#include <dlfcn.h>
+#include <pthread.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace tsunami::debug {
+namespace {
+
+// Plain thread_local PODs: incrementing them allocates nothing and takes no
+// lock, so the interposers cannot recurse into themselves.
+thread_local std::uint64_t t_allocations = 0;
+thread_local std::uint64_t t_locks = 0;
+
+// Process-wide tally behind total_allocation_count().
+std::atomic<std::uint64_t> g_allocations{0};
+
+using LockFn = int (*)(pthread_mutex_t*);
+
+LockFn real_pthread_mutex_lock() {
+  static LockFn real =
+      reinterpret_cast<LockFn>(dlsym(RTLD_NEXT, "pthread_mutex_lock"));
+  return real;
+}
+
+// Resolve the real pthread_mutex_lock during static initialization so the
+// dlsym call (which may itself allocate) never lands inside an armed scope.
+[[maybe_unused]] const LockFn g_warm_lock_fn = real_pthread_mutex_lock();
+
+void note_alloc() {
+  ++t_allocations;
+  // mo: relaxed — a diagnostic tally; the tests that read the total quiesce
+  // the other threads (drain/wait) before asserting on the delta.
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  note_alloc();
+  // malloc(0) may return null legitimately; operator new must not.
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  note_alloc();
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : align) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t thread_allocation_count() { return t_allocations; }
+std::uint64_t thread_lock_count() { return t_locks; }
+
+std::uint64_t total_allocation_count() {
+  // mo: relaxed — see note_alloc: callers quiesce writers before asserting.
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+}  // namespace tsunami::debug
+
+// ---------------------------------------------------------------------------
+// Replacement global allocation functions ([new.delete.single] / [.array]).
+// The standard blesses exactly this: a program may replace them, and every
+// new-expression in every linked TU routes through these.
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  void* p = tsunami::debug::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = tsunami::debug::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return tsunami::debug::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return tsunami::debug::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = tsunami::debug::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = tsunami::debug::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return tsunami::debug::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return tsunami::debug::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+
+// Deallocation is free (pun intended): retiring memory on a hot path is
+// allowed, so deletes are not counted — they just release.
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+// ---------------------------------------------------------------------------
+// pthread_mutex_lock shadow. Our strong definition in the executable wins
+// symbol resolution over libc's; the real implementation is reached through
+// the dlsym(RTLD_NEXT) pointer warmed above. glibc's std::mutex::lock is a
+// pthread_mutex_lock call, so ScopedNoLock sees std::mutex too.
+// ---------------------------------------------------------------------------
+
+extern "C" int pthread_mutex_lock(pthread_mutex_t* mutex) {
+  ++tsunami::debug::t_locks;
+  return tsunami::debug::real_pthread_mutex_lock()(mutex);
+}
+
+#endif  // TSUNAMI_CHECKS

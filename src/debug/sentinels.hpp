@@ -1,0 +1,109 @@
+#pragma once
+
+// Runtime hot-path sentinels: the executable half of the TSUNAMI_HOT_PATH
+// contract (src/util/hot_path.hpp). The static linter proves no allocation
+// or lock *token* appears in an annotated function; these sentinels prove at
+// runtime that none *executes* — including anything reached through calls
+// the linter cannot see into.
+//
+// Mechanism (compiled only when the TSUNAMI_CHECKS CMake option is ON):
+//   * replacement global operator new / operator delete (all standard
+//     variants, in sentinels.cpp — the same TU as ScopedNoAlloc, so linking
+//     the sentinel pulls the interposers in from the static library) bump a
+//     thread-local allocation counter;
+//   * a pthread_mutex_lock definition that shadows libc's (resolved lazily
+//     via dlsym(RTLD_NEXT), eagerly warmed at static-init time so the first
+//     armed region does not count dlsym's own work) bumps a thread-local
+//     lock counter. std::mutex::lock on glibc lands here.
+//
+// The sentinels OBSERVE, they do not abort: a scope records the calling
+// thread's counters at construction, and tests assert on the delta
+// (EXPECT_EQ(guard.allocations(), 0u)). Observing keeps the positive tests
+// (allocation IS counted) expressible and the failure mode a readable test
+// diff instead of a SIGABRT.
+//
+// Per-thread semantics: counters are thread_local, so a guard only sees the
+// work of its own thread. That is exactly the steady-state claim the repo
+// makes — the thread calling push()/apply() performs no allocation — and it
+// keeps unrelated threads (pool workers idling, other tests) out of the
+// count. Deallocations are never counted: retiring a buffer is allowed on a
+// hot path; acquiring one is not.
+//
+// Default (TSUNAMI_CHECKS off) builds compile the scopes to inert stubs so
+// test code can construct them unconditionally and gate assertions on
+// checks_enabled().
+
+#include <cstdint>
+
+namespace tsunami::debug {
+
+/// True when the build carries the interposers (TSUNAMI_CHECKS=ON). Tests
+/// GTEST_SKIP on false rather than silently passing.
+[[nodiscard]] constexpr bool checks_enabled() {
+#if defined(TSUNAMI_CHECKS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(TSUNAMI_CHECKS)
+
+/// Allocations (operator new family) ever performed by this thread.
+[[nodiscard]] std::uint64_t thread_allocation_count();
+
+/// pthread_mutex_lock acquisitions ever performed by this thread.
+[[nodiscard]] std::uint64_t thread_lock_count();
+
+/// Allocations ever performed by ANY thread. For cross-thread claims (the
+/// warning service drains on pool workers): assert a process-wide delta is
+/// bounded, where the per-thread scopes cannot see the workers.
+[[nodiscard]] std::uint64_t total_allocation_count();
+
+/// Counts this thread's allocations while in scope.
+class ScopedNoAlloc {
+ public:
+  ScopedNoAlloc() : start_(thread_allocation_count()) {}
+
+  /// Allocations on this thread since construction.
+  [[nodiscard]] std::uint64_t allocations() const {
+    return thread_allocation_count() - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+/// Counts this thread's mutex acquisitions while in scope.
+class ScopedNoLock {
+ public:
+  ScopedNoLock() : start_(thread_lock_count()) {}
+
+  /// Locks taken on this thread since construction.
+  [[nodiscard]] std::uint64_t locks() const {
+    return thread_lock_count() - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+#else  // !TSUNAMI_CHECKS — inert stubs, zero cost, always report zero.
+
+[[nodiscard]] inline std::uint64_t thread_allocation_count() { return 0; }
+[[nodiscard]] inline std::uint64_t thread_lock_count() { return 0; }
+[[nodiscard]] inline std::uint64_t total_allocation_count() { return 0; }
+
+class ScopedNoAlloc {
+ public:
+  [[nodiscard]] std::uint64_t allocations() const { return 0; }
+};
+
+class ScopedNoLock {
+ public:
+  [[nodiscard]] std::uint64_t locks() const { return 0; }
+};
+
+#endif  // TSUNAMI_CHECKS
+
+}  // namespace tsunami::debug

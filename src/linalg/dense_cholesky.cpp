@@ -93,8 +93,8 @@ DenseCholesky DenseCholesky::from_factor(Matrix l) {
   return c;
 }
 
-void DenseCholesky::forward_solve_range(std::span<double> b, std::size_t begin,
-                                        std::size_t end) const {
+TSUNAMI_HOT_PATH void DenseCholesky::forward_solve_range(
+    std::span<double> b, std::size_t begin, std::size_t end) const {
   const std::size_t n = l_.rows();
   if (begin > end || end > n || b.size() < end)
     throw std::invalid_argument("DenseCholesky: bad forward-solve range");

@@ -17,6 +17,7 @@
 #include <span>
 
 #include "linalg/dense.hpp"
+#include "util/hot_path.hpp"
 
 namespace tsunami {
 
@@ -52,8 +53,9 @@ class DenseCholesky {
   /// b[begin:end) holds solution entries. b[end:] is never read or written,
   /// so a full-length buffer can be filled incrementally. Cost O((end-begin)
   /// * end) — extending a solve by one block touches only the new rows.
-  void forward_solve_range(std::span<double> b, std::size_t begin,
-                           std::size_t end) const;
+  TSUNAMI_HOT_PATH void forward_solve_range(std::span<double> b,
+                                            std::size_t begin,
+                                            std::size_t end) const;
 
   /// Backward substitution L^T x = b (completes a solve of A x = rhs after
   /// forward_solve_*).

@@ -18,6 +18,8 @@ Histogram::Histogram()
     : buckets_(new std::atomic<std::uint64_t>[kNumBuckets]),
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity()) {
+  // mo: relaxed — single-threaded construction; publication of the object
+  // itself is the caller's synchronization problem.
   for (std::size_t i = 0; i < kNumBuckets; ++i)
     buckets_[i].store(0, std::memory_order_relaxed);
 }
@@ -47,11 +49,18 @@ double Histogram::bucket_upper_bound(std::size_t i) {
   return bucket_lower_bound(i + 1);
 }
 
-void Histogram::record(double v) {
+TSUNAMI_HOT_PATH void Histogram::record(double v) {
+  // mo: relaxed throughout — each field is an independent statistic; no
+  // reader infers anything about OTHER memory from them, and snapshot()
+  // reconciles cross-field skew (count vs buckets) after the fact. Stronger
+  // orders would serialize every worker's push-latency recording for no
+  // observable benefit.
   buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);  // CAS loop under the hood
   double cur = min_.load(std::memory_order_relaxed);
+  // mo: relaxed — the CAS only has to be atomic on min_/max_ itself; the
+  // retry loop re-reads the latest value on failure either way.
   while (v < cur &&
          !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
@@ -64,6 +73,9 @@ void Histogram::record(double v) {
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot s;
   s.counts.resize(kNumBuckets);
+  // mo: relaxed — a monitoring snapshot racing writers is allowed to be
+  // slightly torn; the count/bucket reconciliation below restores the
+  // invariant percentile() needs.
   for (std::size_t i = 0; i < kNumBuckets; ++i)
     s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
   s.count = count_.load(std::memory_order_relaxed);
@@ -77,6 +89,8 @@ HistogramSnapshot Histogram::snapshot() const {
   if (s.count == 0) {
     s.min = s.max = 0.0;
   } else {
+    // mo: relaxed — min/max are monotone under concurrent record(); any
+    // value read is one some record() actually wrote.
     s.min = min_.load(std::memory_order_relaxed);
     s.max = max_.load(std::memory_order_relaxed);
   }

@@ -35,6 +35,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/hot_path.hpp"
+
 namespace tsunami::obs {
 
 // ---------------------------------------------------------------------------
@@ -44,6 +46,8 @@ namespace tsunami::obs {
 /// Monotonically increasing count. Wait-free, multi-writer.
 class Counter {
  public:
+  // mo: relaxed — an independent statistic; no other memory is published
+  // through it, and scrapes tolerate slightly-stale values.
   void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
   [[nodiscard]] std::uint64_t value() const {
     return v_.load(std::memory_order_relaxed);
@@ -56,6 +60,7 @@ class Counter {
 /// Last-write-wins scalar.
 class Gauge {
  public:
+  // mo: relaxed — last-write-wins sample point, carries no ordering duty.
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
   [[nodiscard]] double value() const {
     return v_.load(std::memory_order_relaxed);
@@ -110,10 +115,12 @@ class Histogram {
 
   /// Record one value. Wait-free: one bucket fetch_add + count/sum/min/max
   /// relaxed atomics. Any thread.
-  void record(double v);
+  TSUNAMI_HOT_PATH void record(double v);
 
   [[nodiscard]] HistogramSnapshot snapshot() const;
 
+  // mo: relaxed — monitoring read; snapshot() reconciles any cross-field
+  // skew, a lone count needs no ordering.
   [[nodiscard]] std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
   }

@@ -46,11 +46,16 @@ struct TraceBuffer {
 
   void record(const char* category, const char* name, std::int64_t t0,
               std::int64_t dur) {
+    // mo: relaxed — single-writer ring (this thread is the only mutator);
+    // the atomics exist so the exporter's concurrent reads are well-defined,
+    // not to order publication. A garbled wrapped slot in a diagnostic dump
+    // is the accepted worst case (see the Slot comment).
     const std::uint64_t p = pos.load(std::memory_order_relaxed);
     Slot& s = slots[p % capacity];
     s.ts_ns.store(t0, std::memory_order_relaxed);
     s.dur_ns.store(dur, std::memory_order_relaxed);
     s.category.store(category, std::memory_order_relaxed);
+    // mo: relaxed — same single-writer-ring contract as above.
     s.name.store(name, std::memory_order_relaxed);
     pos.store(p + 1, std::memory_order_relaxed);
   }
@@ -93,6 +98,8 @@ TraceBuffer& thread_buffer() {
     Registry& r = registry();
     const std::lock_guard<std::mutex> lock(r.mutex);
     h.buffer = std::make_shared<TraceBuffer>(
+        // mo: relaxed — a plain configuration scalar; whichever capacity
+        // value this thread observes is a valid ring size.
         r.next_tid++, g_buffer_capacity.load(std::memory_order_relaxed));
     if (!h.pending_name.empty()) h.buffer->thread_name = h.pending_name;
     r.buffers.push_back(h.buffer);
@@ -187,10 +194,14 @@ void record_instant(const char* category, const char* name) {
 }  // namespace detail
 
 void set_trace_enabled(bool enabled) {
+  // mo: relaxed — a flag hot paths poll; threads may see the toggle late,
+  // which only shifts where a diagnostic trace starts/stops.
   detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
 }
 
 void set_trace_buffer_capacity(std::size_t spans) {
+  // mo: relaxed — configuration scalar read once per thread at ring
+  // creation; no memory is published through it.
   g_buffer_capacity.store(std::clamp(spans, kMinCapacity, kMaxCapacity),
                           std::memory_order_relaxed);
 }
@@ -209,6 +220,8 @@ std::size_t trace_span_count() {
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mutex);
   std::size_t n = 0;
+  // mo: relaxed — cross-thread diagnostic read of a single-writer counter;
+  // an in-flight record() may or may not be counted, both are fine.
   for (const auto& b : r.buffers)
     n += static_cast<std::size_t>(std::min<std::uint64_t>(
         b->pos.load(std::memory_order_relaxed), b->capacity));
@@ -220,6 +233,7 @@ std::size_t trace_dropped_count() {
   const std::lock_guard<std::mutex> lock(r.mutex);
   std::size_t n = 0;
   for (const auto& b : r.buffers) {
+    // mo: relaxed — same diagnostic-read contract as trace_span_count().
     const std::uint64_t pos = b->pos.load(std::memory_order_relaxed);
     if (pos > b->capacity) n += static_cast<std::size_t>(pos - b->capacity);
   }
@@ -231,6 +245,8 @@ void clear_trace() {
   const std::lock_guard<std::mutex> lock(r.mutex);
   // Dropping the count (not the slots) is enough: retained = min(pos, cap)
   // and the exporter only reads slots below pos.
+  // mo: relaxed — racing writers may resurrect a span or two; clear_trace
+  // is a test/bench convenience, not a synchronization point.
   for (const auto& b : r.buffers) b->pos.store(0, std::memory_order_relaxed);
 }
 
@@ -262,6 +278,9 @@ std::string chrome_trace_json() {
       append_json_escaped(out, tname.c_str());
       out += "\"}}";
     }
+    // mo: relaxed — exporter side of the single-writer ring contract: reads
+    // racing record() may mix two spans' fields in one wrapped slot, which
+    // the format tolerates (diagnostic artifact, never UB; see Slot).
     const std::uint64_t pos = b->pos.load(std::memory_order_relaxed);
     const std::uint64_t begin = pos > b->capacity ? pos - b->capacity : 0;
     for (std::uint64_t i = begin; i < pos; ++i) {
@@ -269,6 +288,7 @@ std::string chrome_trace_json() {
       const char* cat = s.category.load(std::memory_order_relaxed);
       const char* name = s.name.load(std::memory_order_relaxed);
       if (cat == nullptr || name == nullptr) continue;  // not yet written
+      // mo: relaxed — same slot-read contract as the loads above.
       const std::int64_t ts = s.ts_ns.load(std::memory_order_relaxed);
       const std::int64_t dur = s.dur_ns.load(std::memory_order_relaxed);
       out += first ? "\n" : ",\n";

@@ -59,6 +59,8 @@ void record_instant(const char* category, const char* name);
 
 /// True when spans are being recorded. The only thing a disabled TRACE_SCOPE
 /// ever evaluates.
+// mo: relaxed — hot-path poll of an on/off flag; observing a toggle late
+// only delays when spans start/stop being recorded.
 [[nodiscard]] inline bool trace_enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }

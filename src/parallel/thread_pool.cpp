@@ -56,6 +56,8 @@ class StealDeque {
   StealDeque() : array_(new Slots(kInitialCapacity)) {}
 
   ~StealDeque() {
+    // mo: relaxed — destruction implies every other thread is done with the
+    // deque; no concurrent access remains to order against.
     delete array_.load(std::memory_order_relaxed);
     for (Slots* retired : retired_) delete retired;
   }
@@ -65,6 +67,9 @@ class StealDeque {
 
   /// Owner only.
   void push(Job* job) {
+    // mo: relaxed on owner-private bottom_/array_ reads (only this thread
+    // writes them); acquire on top_ to see thieves' claims before sizing;
+    // release on the array_ store publishes the grown slots to thieves.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_acquire);
     Slots* a = array_.load(std::memory_order_relaxed);
@@ -73,27 +78,40 @@ class StealDeque {
       // a concurrent thief may still hold a pointer to it.
       Slots* grown = a->grow(t, b);
       retired_.push_back(a);
+      // mo: release — pairs with steal()'s acquire load of array_ so the
+      // copied slots are visible before a thief dereferences them.
       array_.store(grown, std::memory_order_release);
       a = grown;
     }
     a->put(b, job);
+    // mo: seq_cst — deque-protocol publication of the new bottom; see the
+    // class comment for why the protocol runs entirely on seq_cst.
     bottom_.store(b + 1, std::memory_order_seq_cst);
   }
 
   /// Owner only. Null when empty (or when a thief won the last element).
   Job* pop() {
+    // mo: relaxed for the owner-private reads; seq_cst for the reservation
+    // store + top load — the store/load pair must be globally ordered
+    // against steal()'s top/bottom pair (the classic Chase-Lev SC fence,
+    // expressed as seq_cst ops per the class comment).
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Slots* a = array_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     if (t > b) {
       // Empty: restore bottom.
+      // mo: relaxed — owner-private undo; only this thread reads bottom_
+      // without the protocol's seq_cst accesses in between.
       bottom_.store(b + 1, std::memory_order_relaxed);
       return nullptr;
     }
     Job* job = a->get(b);
     if (t == b) {
       // Last element: race thieves for it via the top CAS.
+      // mo: seq_cst CAS decides the race for the final element; relaxed on
+      // failure (losing carries no data) and on the bottom_ restore, which
+      // only this owner reads.
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         job = nullptr;
@@ -105,11 +123,16 @@ class StealDeque {
 
   /// Any thread. Null on empty or lost race.
   Job* steal() {
+    // mo: seq_cst top/bottom reads + claiming CAS — the thief half of the
+    // protocol ordering described in pop(); acquire on array_ pairs with
+    // push()'s release so the grown slots are visible before get(). CAS
+    // failure is relaxed: a lost race returns null, no data crosses.
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return nullptr;
     Slots* a = array_.load(std::memory_order_acquire);
     Job* job = a->get(t);
+    // mo: seq_cst claim CAS / relaxed failure — see the comment above.
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return nullptr;
@@ -117,12 +140,16 @@ class StealDeque {
     return job;
   }
 
+  // mo: seq_cst — reuses the protocol order for a racy emptiness hint;
+  // weaker orders would be fine but the uniform rule keeps TSan's model
+  // identical to shipped code (class comment).
   [[nodiscard]] bool looks_empty() const {
     return bottom_.load(std::memory_order_seq_cst) <=
            top_.load(std::memory_order_seq_cst);
   }
 
   /// Any thread; a racy snapshot suitable for metrics only.
+  // mo: seq_cst — same uniform-protocol-order rationale as looks_empty().
   [[nodiscard]] std::size_t size() const {
     const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     const std::int64_t t = top_.load(std::memory_order_seq_cst);
@@ -137,6 +164,9 @@ class StealDeque {
         : capacity(cap), mask(cap - 1),
           entries(new std::atomic<Job*>[cap]) {}
 
+    // mo: relaxed — slot contents are ordered by the top_/bottom_ protocol,
+    // not by the slot accesses themselves (Chase-Lev invariant: a claimed
+    // index is never concurrently rewritten).
     [[nodiscard]] Job* get(std::int64_t i) const {
       return entries[static_cast<std::size_t>(i) & mask].load(
           std::memory_order_relaxed);
@@ -186,6 +216,10 @@ struct LoopState {
 /// Claim-and-execute until the loop runs dry. Never blocks, so it is safe to
 /// call from arbitrarily nested loops.
 void work_on(LoopState& state) {
+  // mo: relaxed — slot/item tickets only need atomicity of the increment
+  // (each participant gets a unique value); nothing is published through
+  // them. failed is a best-effort skip hint: its definitive read happens
+  // after the done_cv wait, which the mutex orders.
   const std::size_t slot = state.slots.fetch_add(1, std::memory_order_relaxed);
   for (;;) {
     const std::size_t item = state.next.fetch_add(1, std::memory_order_relaxed);
@@ -196,9 +230,14 @@ void work_on(LoopState& state) {
       } catch (...) {
         const std::lock_guard<std::mutex> lock(state.mutex);
         if (!state.error) state.error = std::current_exception();
+        // mo: relaxed — best-effort skip hint (see function comment); the
+        // authoritative error handoff is state.error under the mutex.
         state.failed.store(true, std::memory_order_relaxed);
       }
     }
+    // mo: acq_rel — the completing increment: release publishes this item's
+    // writes; the acquire half (paired with run_items' acquire read of done)
+    // makes every item's effects visible to the loop's caller.
     if (state.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state.nitems) {
       const std::lock_guard<std::mutex> lock(state.mutex);
@@ -257,6 +296,8 @@ struct ThreadPool::Impl {
       std::chrono::steady_clock::now();
 
   void push_job(Job* job) {
+    // mo: relaxed — inflight is a pure count; the paired acq_rel decrement
+    // in execute() orders the idle handoff.
     inflight.fetch_add(1, std::memory_order_relaxed);
     if (tls_worker.pool == this && tls_worker.worker != nullptr) {
       tls_worker.worker->deque.push(job);
@@ -264,6 +305,8 @@ struct ThreadPool::Impl {
       const std::lock_guard<std::mutex> lock(inject_mutex);
       inject.push_back(job);
     }
+    // mo: release — the signal bump pairs with the workers' acquire load so
+    // a woken worker sees the job enqueued above before re-checking queues.
     signals.fetch_add(1, std::memory_order_release);
     wake_cv.notify_one();
   }
@@ -282,6 +325,7 @@ struct ThreadPool::Impl {
     for (const auto& victim : workers) {
       if (victim.get() == &me) continue;
       if (Job* job = victim->deque.steal()) {
+        // mo: relaxed — observability counters, read racily by stats calls.
         steals.fetch_add(1, std::memory_order_relaxed);
         me.steals.fetch_add(1, std::memory_order_relaxed);
         TRACE_INSTANT("pool", "steal");
@@ -296,6 +340,7 @@ struct ThreadPool::Impl {
       TRACE_SCOPE("pool", "job");
       const auto t0 = std::chrono::steady_clock::now();
       job->fn();
+      // mo: relaxed — per-worker observability counters (see Worker).
       me.busy_ns.fetch_add(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
@@ -304,6 +349,9 @@ struct ThreadPool::Impl {
       me.jobs.fetch_add(1, std::memory_order_relaxed);
     }
     delete job;
+    // mo: acq_rel — the last decrement releases this job's effects and
+    // acquires every earlier job's, so wait_idle()'s acquire read of 0
+    // hands the caller a fully published state.
     if (inflight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       const std::lock_guard<std::mutex> lock(idle_mutex);
       idle_cv.notify_all();
@@ -318,12 +366,18 @@ struct ThreadPool::Impl {
         execute(me, job);
         continue;
       }
+      // mo: acquire — pairs with push_job's release bump: if a submission
+      // landed before this snapshot, the re-check below must find its job
+      // (that is the no-lost-wakeup argument in the Impl comment).
       const std::uint64_t seen = signals.load(std::memory_order_acquire);
       if (Job* job = find_work(me)) {
         execute(me, job);
         continue;
       }
       std::unique_lock<std::mutex> lock(wake_mutex);
+      // mo: relaxed — reads under wake_mutex, which both writers also take
+      // (join_all for stop, the cv wakeup protocol for signals); the mutex
+      // provides the ordering.
       wake_cv.wait(lock, [&] {
         return stop.load(std::memory_order_relaxed) ||
                signals.load(std::memory_order_relaxed) != seen;
@@ -333,6 +387,8 @@ struct ThreadPool::Impl {
   }
 
   void spawn(std::size_t n) {
+    // mo: relaxed — no worker threads exist yet; std::thread construction
+    // below synchronizes-with each worker's start.
     stop.store(false, std::memory_order_relaxed);
     threads = n;
     workers.clear();
@@ -353,6 +409,8 @@ struct ThreadPool::Impl {
   void join_all() {
     {
       const std::lock_guard<std::mutex> lock(wake_mutex);
+      // mo: relaxed — written under wake_mutex, read by workers inside the
+      // cv wait (also under wake_mutex); the mutex orders it.
       stop.store(true, std::memory_order_relaxed);
     }
     wake_cv.notify_all();
@@ -392,6 +450,7 @@ ThreadPool::~ThreadPool() {
   // are dropped, not run — destruction is not a drain point.
   while (Job* job = impl_->pop_injected()) {
     delete job;
+    // mo: relaxed — workers are joined; this is single-threaded cleanup.
     impl_->inflight.fetch_sub(1, std::memory_order_relaxed);
   }
 }
@@ -416,6 +475,8 @@ void ThreadPool::submit(std::function<void()> job) {
 
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(impl_->idle_mutex);
+  // mo: acquire — pairs with execute()'s acq_rel decrement: reading 0 means
+  // every completed job's writes are visible to the caller.
   impl_->idle_cv.wait(lock, [&] {
     return impl_->inflight.load(std::memory_order_acquire) == 0;
   });
@@ -429,11 +490,13 @@ void ThreadPool::resize(std::size_t threads) {
   impl_->salvage_deques();
   impl_->spawn(n);
   // Re-signal in case jobs were salvaged into the injection queue.
+  // mo: release — same pairing as push_job's signal bump.
   impl_->signals.fetch_add(1, std::memory_order_release);
   impl_->wake_cv.notify_all();
 }
 
 std::size_t ThreadPool::steal_count() const {
+  // mo: relaxed — racy observability read of a statistics counter.
   return impl_->steals.load(std::memory_order_relaxed);
 }
 
@@ -442,6 +505,8 @@ std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
   out.reserve(impl_->workers.size());
   for (const auto& w : impl_->workers) {
     WorkerStats s;
+    // mo: relaxed — racy snapshot of per-worker statistics while the
+    // workers keep running; staleness is fine by contract.
     s.jobs = w->jobs.load(std::memory_order_relaxed);
     s.steals = w->steals.load(std::memory_order_relaxed);
     s.busy_seconds =
@@ -481,6 +546,8 @@ void ThreadPool::run_items(std::size_t nitems, ItemFn fn, void* ctx) {
 
   {
     std::unique_lock<std::mutex> lock(state->mutex);
+    // mo: acquire — pairs with work_on's acq_rel done increments: seeing
+    // done == nitems makes every item's writes visible to this caller.
     state->done_cv.wait(lock, [&] {
       return state->done.load(std::memory_order_acquire) == nitems;
     });

@@ -77,15 +77,14 @@ bool EventSession::submit(std::size_t tick, std::span<const double> d_block,
   return false;
 }
 
-std::vector<EventSession::Block> EventSession::take_runnable_locked() {
-  std::vector<Block> batch;
+void EventSession::take_runnable_locked(std::vector<Block>& batch) {
+  batch.clear();
   while (!pending_.empty() && pending_.begin()->first == next_expected_) {
     auto node = pending_.extract(pending_.begin());
     batch.push_back(Block{node.key(), std::move(node.mapped())});
     ++next_expected_;
   }
   if (!batch.empty()) space_cv_.notify_all();
-  return batch;
 }
 
 bool EventSession::try_schedule() {
@@ -119,12 +118,15 @@ bool EventSession::release_if_idle() {
 }
 
 void EventSession::drain_for(ServiceTelemetry& telemetry) {
+  // drain_batch_ is owner-only scratch (only the worker that won the
+  // scheduled flag runs here): its capacity survives across cycles and
+  // sessions' lifetimes, so a steady-state drain performs no allocation —
+  // the blocks' data vectors are moved out of the map nodes, not copied.
   for (;;) {
-    std::vector<Block> batch;
     {
       const std::lock_guard<std::mutex> lock(state_mutex_);
-      batch = take_runnable_locked();
-      if (batch.empty()) {
+      take_runnable_locked(drain_batch_);
+      if (drain_batch_.empty()) {
         // Going idle. A submit racing with this branch either ran before we
         // took the lock (its block would be in the batch) or runs after
         // scheduled_ drops (and wins the flag itself) — no lost wakeups.
@@ -135,7 +137,7 @@ void EventSession::drain_for(ServiceTelemetry& telemetry) {
     }
     // The slow part — the actual prefix-Cholesky pushes — runs without any
     // lock: producers keep submitting and other sessions keep draining.
-    for (const Block& b : batch) assimilate(b, telemetry);
+    for (const Block& b : drain_batch_) assimilate(b, telemetry);
   }
 }
 

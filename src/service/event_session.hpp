@@ -128,8 +128,10 @@ class EventSession {
   };
 
   /// Move the runnable prefix (consecutive ticks from next_expected_) out
-  /// of the buffer. Called under state_mutex_.
-  [[nodiscard]] std::vector<Block> take_runnable_locked();
+  /// of the buffer into `batch` (cleared first; its capacity and the map
+  /// nodes' data vectors are reused, so a steady-state drain cycle does not
+  /// allocate). Called under state_mutex_.
+  void take_runnable_locked(std::vector<Block>& batch);
 
   /// Batcher co-opt: win the scheduled flag iff in-order work is available
   /// and no drain job owns the session. On true the caller owns the session
@@ -170,6 +172,9 @@ class EventSession {
   StreamingAssimilator assim_;
   std::size_t above_threshold_streak_ = 0;
   Forecast staging_forecast_;
+  /// drain_for's batch scratch: owner-only (like assim_), grows to the
+  /// largest runnable prefix ever drained and is then reused.
+  std::vector<Block> drain_batch_;
 
   // Ingest queue + scheduling state, guarded by state_mutex_.
   mutable std::mutex state_mutex_;

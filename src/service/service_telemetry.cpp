@@ -7,12 +7,16 @@
 namespace tsunami {
 
 void ServiceTelemetry::on_push(double seconds) {
+  // mo: relaxed — per-push counter on the worker hot path; publishes no
+  // other memory, and monitoring reads tolerate staleness.
   ticks_assimilated_.fetch_add(1, relaxed);
   push_latency_.record(seconds);
 }
 
 TelemetrySnapshot ServiceTelemetry::snapshot() const {
   TelemetrySnapshot s;
+  // mo: relaxed — monitoring reads; each counter is individually coherent
+  // and cross-counter skew is handled explicitly below.
   s.events_opened = events_opened_.load(relaxed);
   s.events_closed = events_closed_.load(relaxed);
   // The two loads are not atomic together: a close that lands between them
@@ -20,6 +24,7 @@ TelemetrySnapshot ServiceTelemetry::snapshot() const {
   s.events_in_flight = s.events_closed > s.events_opened
                            ? 0
                            : s.events_opened - s.events_closed;
+  // mo: relaxed — same monitoring-read contract as above.
   s.ticks_assimilated = ticks_assimilated_.load(relaxed);
   s.ticks_rejected = ticks_rejected_.load(relaxed);
   s.wall_seconds = since_start_.seconds();
@@ -38,17 +43,21 @@ TelemetrySnapshot ServiceTelemetry::snapshot() const {
 }
 
 void ServiceTelemetry::collect_into(obs::MetricsSnapshot& snapshot) const {
+  // mo: relaxed — scrape-time reads of independent counters, same contract
+  // as snapshot(); the in-flight gauge saturates on cross-counter skew.
   snapshot.counter("tsunami_service_events_opened_total",
                    static_cast<double>(events_opened_.load(relaxed)), {},
                    "Event sessions ever opened");
   snapshot.counter("tsunami_service_events_closed_total",
                    static_cast<double>(events_closed_.load(relaxed)), {},
                    "Event sessions closed");
+  // mo: relaxed — same scrape-time contract as above.
   const std::uint64_t opened = events_opened_.load(relaxed);
   const std::uint64_t closed = events_closed_.load(relaxed);
   snapshot.gauge("tsunami_service_events_in_flight",
                  static_cast<double>(closed > opened ? 0 : opened - closed),
                  {}, "Event sessions currently open");
+  // mo: relaxed — same scrape-time monitoring reads as above.
   snapshot.counter("tsunami_service_ticks_assimilated_total",
                    static_cast<double>(ticks_assimilated_.load(relaxed)), {},
                    "Observation ticks assimilated");

@@ -53,6 +53,8 @@ class ServiceTelemetry {
  public:
   ServiceTelemetry() = default;
 
+  // mo: relaxed — independent operational counters; readers reconcile any
+  // cross-counter skew themselves (see snapshot()'s saturation note).
   void on_event_opened() { events_opened_.fetch_add(1, relaxed); }
   void on_event_closed() { events_closed_.fetch_add(1, relaxed); }
   void on_rejected() { ticks_rejected_.fetch_add(1, relaxed); }

@@ -195,23 +195,25 @@ void BlockToeplitz::set_keep_blocks(std::span<const double> blocks) {
   blocks_.assign(blocks.begin(), blocks.end());
 }
 
-std::size_t BlockToeplitz::prepare_thread_scratch(ToeplitzWorkspace& ws) const {
+TSUNAMI_HOT_PATH std::size_t
+BlockToeplitz::prepare_thread_scratch(ToeplitzWorkspace& ws) const {
   const std::size_t scr = plan_.scratch_size();
   const auto nthreads = static_cast<std::size_t>(num_threads());
-  if (ws.fft_.size() < nthreads * scr) ws.fft_.resize(nthreads * scr);
+  if (ws.fft_.size() < nthreads * scr)
+    ws.fft_.resize(nthreads * scr);  // lint: allow(hot-path-alloc) grow-once workspace
   return scr;
 }
 
-void BlockToeplitz::forward_channels(const double* x, std::size_t nchan,
-                                     std::size_t nrhs, std::size_t in_ticks,
-                                     ToeplitzWorkspace& ws) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::forward_channels(
+    const double* x, std::size_t nchan, std::size_t nrhs, std::size_t in_ticks,
+    ToeplitzWorkspace& ws) const {
   TRACE_SCOPE("kernel", "fft_forward");
   // Signal s = c * nrhs + v lives at x[t * nsig + s]: base s, stride nsig.
   // Spectra land in the split-complex slab at [w * nsig + s].
   const std::size_t nsig = nchan * nrhs;
   if (ws.xhat_re_.size() < nfreq_ * nsig) {
-    ws.xhat_re_.resize(nfreq_ * nsig);
-    ws.xhat_im_.resize(nfreq_ * nsig);
+    ws.xhat_re_.resize(nfreq_ * nsig);  // lint: allow(hot-path-alloc) grow-once workspace
+    ws.xhat_im_.resize(nfreq_ * nsig);  // lint: allow(hot-path-alloc) grow-once workspace
   }
   const std::size_t scr = prepare_thread_scratch(ws);
   double* xre = ws.xhat_re_.data();
@@ -226,9 +228,9 @@ void BlockToeplitz::forward_channels(const double* x, std::size_t nchan,
   });
 }
 
-void BlockToeplitz::inverse_channels(std::size_t nchan, std::size_t nrhs,
-                                     std::span<double> y,
-                                     ToeplitzWorkspace& ws) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::inverse_channels(
+    std::size_t nchan, std::size_t nrhs, std::span<double> y,
+    ToeplitzWorkspace& ws) const {
   TRACE_SCOPE("kernel", "fft_inverse");
   const std::size_t nsig = nchan * nrhs;
   const std::size_t scr = prepare_thread_scratch(ws);
@@ -246,17 +248,19 @@ void BlockToeplitz::inverse_channels(std::size_t nchan, std::size_t nrhs,
   });
 }
 
-void BlockToeplitz::apply_impl(const double* x, double* y, std::size_t nrhs,
-                               std::size_t in_ticks, bool transpose,
-                               ToeplitzWorkspace& ws) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::apply_impl(const double* x, double* y,
+                                                std::size_t nrhs,
+                                                std::size_t in_ticks,
+                                                bool transpose,
+                                                ToeplitzWorkspace& ws) const {
   TRACE_SCOPE("kernel", "toeplitz_apply");
   const std::size_t nin = transpose ? rows_ : cols_;
   const std::size_t nout = transpose ? cols_ : rows_;
   forward_channels(x, nin, nrhs, in_ticks, ws);
   const std::size_t ylen = nfreq_ * nout * nrhs;
   if (ws.yhat_re_.size() < ylen) {
-    ws.yhat_re_.resize(ylen);
-    ws.yhat_im_.resize(ylen);
+    ws.yhat_re_.resize(ylen);  // lint: allow(hot-path-alloc) grow-once workspace
+    ws.yhat_im_.resize(ylen);  // lint: allow(hot-path-alloc) grow-once workspace
   }
   const double* fre = fhat_re_.data();
   const double* fim = fhat_im_.data();
@@ -293,35 +297,40 @@ void BlockToeplitz::apply_impl(const double* x, double* y, std::size_t nrhs,
   inverse_channels(nout, nrhs, std::span<double>(y, nt_ * nout * nrhs), ws);
 }
 
-void BlockToeplitz::apply(std::span<const double> x, std::span<double> y,
-                          ToeplitzWorkspace& ws) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::apply(std::span<const double> x,
+                                           std::span<double> y,
+                                           ToeplitzWorkspace& ws) const {
   if (x.size() != input_dim() || y.size() != output_dim())
     throw std::invalid_argument("BlockToeplitz::apply: size mismatch");
   apply_impl(x.data(), y.data(), 1, nt_, /*transpose=*/false, ws);
 }
 
-void BlockToeplitz::apply(std::span<const double> x,
-                          std::span<double> y) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::apply(std::span<const double> x,
+                                           std::span<double> y) const {
   apply(x, y, tls_workspace());
 }
 
-void BlockToeplitz::apply_transpose(std::span<const double> x,
-                                    std::span<double> y,
-                                    ToeplitzWorkspace& ws) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::apply_transpose(
+    std::span<const double> x, std::span<double> y,
+    ToeplitzWorkspace& ws) const {
   if (x.size() != output_dim() || y.size() != input_dim())
     throw std::invalid_argument("BlockToeplitz::apply_transpose: mismatch");
   apply_impl(x.data(), y.data(), 1, nt_, /*transpose=*/true, ws);
 }
 
-void BlockToeplitz::apply_transpose(std::span<const double> x,
-                                    std::span<double> y) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::apply_transpose(
+    std::span<const double> x, std::span<double> y) const {
   apply_transpose(x, y, tls_workspace());
 }
 
-void BlockToeplitz::apply_transpose_prefix(std::span<const double> x,
-                                           std::size_t ticks,
-                                           std::span<double> y,
-                                           ToeplitzWorkspace& ws) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::apply_transpose_prefix(
+    std::span<const double> x, std::size_t ticks, std::span<double> y) const {
+  apply_transpose_prefix(x, ticks, y, tls_workspace());
+}
+
+TSUNAMI_HOT_PATH void BlockToeplitz::apply_transpose_prefix(
+    std::span<const double> x, std::size_t ticks, std::span<double> y,
+    ToeplitzWorkspace& ws) const {
   if (ticks > nt_ || x.size() < ticks * rows_)
     throw std::invalid_argument(
         "BlockToeplitz::apply_transpose_prefix: bad prefix");
@@ -337,8 +346,9 @@ void BlockToeplitz::apply_transpose_prefix(std::span<const double> x,
   apply_impl(x.data(), y.data(), 1, ticks, /*transpose=*/true, ws);
 }
 
-void BlockToeplitz::apply_many(const Matrix& x_cols, Matrix& y_cols,
-                               ToeplitzWorkspace& ws) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::apply_many(const Matrix& x_cols,
+                                                Matrix& y_cols,
+                                                ToeplitzWorkspace& ws) const {
   const std::size_t nrhs = x_cols.cols();
   if (x_cols.rows() != input_dim())
     throw std::invalid_argument("apply_many: input rows mismatch");
@@ -348,12 +358,13 @@ void BlockToeplitz::apply_many(const Matrix& x_cols, Matrix& y_cols,
   apply_impl(x_cols.data(), y_cols.data(), nrhs, nt_, /*transpose=*/false, ws);
 }
 
-void BlockToeplitz::apply_many(const Matrix& x_cols, Matrix& y_cols) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::apply_many(const Matrix& x_cols,
+                                                Matrix& y_cols) const {
   apply_many(x_cols, y_cols, tls_workspace());
 }
 
-void BlockToeplitz::apply_transpose_many(const Matrix& x_cols, Matrix& y_cols,
-                                         ToeplitzWorkspace& ws) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::apply_transpose_many(
+    const Matrix& x_cols, Matrix& y_cols, ToeplitzWorkspace& ws) const {
   const std::size_t nrhs = x_cols.cols();
   if (x_cols.rows() != output_dim())
     throw std::invalid_argument("apply_transpose_many: input rows mismatch");
@@ -363,8 +374,8 @@ void BlockToeplitz::apply_transpose_many(const Matrix& x_cols, Matrix& y_cols,
   apply_impl(x_cols.data(), y_cols.data(), nrhs, nt_, /*transpose=*/true, ws);
 }
 
-void BlockToeplitz::apply_transpose_many(const Matrix& x_cols,
-                                         Matrix& y_cols) const {
+TSUNAMI_HOT_PATH void BlockToeplitz::apply_transpose_many(
+    const Matrix& x_cols, Matrix& y_cols) const {
   apply_transpose_many(x_cols, y_cols, tls_workspace());
 }
 

@@ -38,6 +38,7 @@
 #include "fft/fft.hpp"
 #include "linalg/dense.hpp"
 #include "parallel/numa.hpp"
+#include "util/hot_path.hpp"
 
 namespace tsunami {
 
@@ -79,14 +80,17 @@ class BlockToeplitz {
   [[nodiscard]] std::size_t input_dim() const { return cols_ * nt_; }
 
   /// y = T x; x time-major (nt blocks of cols), y time-major (nt x rows).
-  void apply(std::span<const double> x, std::span<double> y) const;
-  void apply(std::span<const double> x, std::span<double> y,
-             ToeplitzWorkspace& ws) const;
+  TSUNAMI_HOT_PATH void apply(std::span<const double> x,
+                              std::span<double> y) const;
+  TSUNAMI_HOT_PATH void apply(std::span<const double> x, std::span<double> y,
+                              ToeplitzWorkspace& ws) const;
 
   /// y = T^T x; x time-major (nt x rows), y time-major (nt x cols).
-  void apply_transpose(std::span<const double> x, std::span<double> y) const;
-  void apply_transpose(std::span<const double> x, std::span<double> y,
-                       ToeplitzWorkspace& ws) const;
+  TSUNAMI_HOT_PATH void apply_transpose(std::span<const double> x,
+                                        std::span<double> y) const;
+  TSUNAMI_HOT_PATH void apply_transpose(std::span<const double> x,
+                                        std::span<double> y,
+                                        ToeplitzWorkspace& ws) const;
 
   /// y = T^T [x; 0]: x holds only the first `ticks` time blocks (ticks*rows
   /// values); the remaining blocks are implicitly zero. Exactly equal to
@@ -94,19 +98,25 @@ class BlockToeplitz {
   /// padded copy is never materialized — the FFT pack pass zero-fills
   /// directly. This is the adjoint the streaming (truncated-posterior) path
   /// needs at every tick.
-  void apply_transpose_prefix(std::span<const double> x, std::size_t ticks,
-                              std::span<double> y,
-                              ToeplitzWorkspace& ws) const;
+  TSUNAMI_HOT_PATH void apply_transpose_prefix(std::span<const double> x,
+                                               std::size_t ticks,
+                                               std::span<double> y,
+                                               ToeplitzWorkspace& ws) const;
+  TSUNAMI_HOT_PATH void apply_transpose_prefix(std::span<const double> x,
+                                               std::size_t ticks,
+                                               std::span<double> y) const;
 
   /// Multi-RHS versions: columns of X are independent vectors. The
   /// per-frequency kernel becomes a split-complex GEMM (the batched-BLAS
   /// path). y_cols is resized only if its shape differs.
-  void apply_many(const Matrix& x_cols, Matrix& y_cols) const;
-  void apply_many(const Matrix& x_cols, Matrix& y_cols,
-                  ToeplitzWorkspace& ws) const;
-  void apply_transpose_many(const Matrix& x_cols, Matrix& y_cols) const;
-  void apply_transpose_many(const Matrix& x_cols, Matrix& y_cols,
-                            ToeplitzWorkspace& ws) const;
+  TSUNAMI_HOT_PATH void apply_many(const Matrix& x_cols, Matrix& y_cols) const;
+  TSUNAMI_HOT_PATH void apply_many(const Matrix& x_cols, Matrix& y_cols,
+                                   ToeplitzWorkspace& ws) const;
+  TSUNAMI_HOT_PATH void apply_transpose_many(const Matrix& x_cols,
+                                             Matrix& y_cols) const;
+  TSUNAMI_HOT_PATH void apply_transpose_many(const Matrix& x_cols,
+                                             Matrix& y_cols,
+                                             ToeplitzWorkspace& ws) const;
 
   /// Fourier-domain storage footprint (the paper's O(Nm Nd Nt) compact
   /// representation; here 2x for the half-complex spectrum).
@@ -124,17 +134,21 @@ class BlockToeplitz {
  private:
   /// Strided real-input FFTs of `nchan * nrhs` interleaved channels into the
   /// split-complex slab; reads `in_ticks` time blocks (zero-pads the rest).
-  void forward_channels(const double* x, std::size_t nchan, std::size_t nrhs,
-                        std::size_t in_ticks, ToeplitzWorkspace& ws) const;
+  TSUNAMI_HOT_PATH void forward_channels(const double* x, std::size_t nchan,
+                                         std::size_t nrhs,
+                                         std::size_t in_ticks,
+                                         ToeplitzWorkspace& ws) const;
   /// Inverse real-output FFTs of the yhat slab back into time-major y.
-  void inverse_channels(std::size_t nchan, std::size_t nrhs,
-                        std::span<double> y, ToeplitzWorkspace& ws) const;
+  TSUNAMI_HOT_PATH void inverse_channels(std::size_t nchan, std::size_t nrhs,
+                                         std::span<double> y,
+                                         ToeplitzWorkspace& ws) const;
   /// Grows the per-slot FFT scratch in `ws` for the current plan.
-  std::size_t prepare_thread_scratch(ToeplitzWorkspace& ws) const;
+  TSUNAMI_HOT_PATH std::size_t
+  prepare_thread_scratch(ToeplitzWorkspace& ws) const;
 
-  void apply_impl(const double* x, double* y, std::size_t nrhs,
-                  std::size_t in_ticks, bool transpose,
-                  ToeplitzWorkspace& ws) const;
+  TSUNAMI_HOT_PATH void apply_impl(const double* x, double* y,
+                                   std::size_t nrhs, std::size_t in_ticks,
+                                   bool transpose, ToeplitzWorkspace& ws) const;
 
   std::size_t rows_, cols_, nt_;
   std::size_t fft_len_;   ///< L = next_pow2(2 nt)

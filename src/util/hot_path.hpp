@@ -1,0 +1,41 @@
+#pragma once
+
+// TSUNAMI_HOT_PATH: the annotation half of the hot-path discipline contract
+// (docs/ARCHITECTURE.md "Correctness tooling").
+//
+// A function marked TSUNAMI_HOT_PATH is part of the steady-state real-time
+// surface — the per-tick push/apply/publish code whose latency claims the
+// paper (and the serving layer's p99 numbers) rest on. The marker is not
+// documentation: tools/lint/lint.py scans every annotated function body and
+// rejects
+//   * heap allocation (`new`, `malloc`/`calloc`/`realloc`) and
+//     container-growth calls (`push_back`, `emplace_back`, `resize`,
+//     `reserve`, `insert`, `emplace`, `assign`, `append`) — rule
+//     hot-path-alloc;
+//   * blocking synchronization (`std::mutex`, `lock_guard`, `unique_lock`,
+//     `scoped_lock`, `condition_variable`) — rule hot-path-lock.
+// Deliberate exceptions (a workspace buffer that grows once to its
+// high-water mark and is then reused forever) carry an inline
+// `// lint: allow(<rule>) <why>` with the rationale, so every exemption is
+// visible at the call site and in review.
+//
+// The runtime half of the contract lives in src/debug/sentinels.hpp:
+// TSUNAMI_CHECKS builds interpose operator new/delete and
+// pthread_mutex_lock, and tests/test_debug.cpp arms ScopedNoAlloc /
+// ScopedNoLock around these same paths to prove the discipline dynamically.
+//
+// Annotating a new hot path:
+//   1. Put TSUNAMI_HOT_PATH before the return type on the declaration AND
+//      the definition (the linter scans whichever carries the body).
+//   2. Run `python3 tools/lint/lint.py` and fix or justify what it flags.
+//   3. Add a ScopedNoAlloc/ScopedNoLock test in tests/test_debug.cpp if the
+//      path has a steady-state zero-allocation or no-lock claim.
+//
+// The attribute itself also nudges the optimizer (hot-section placement);
+// it never changes semantics.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TSUNAMI_HOT_PATH [[gnu::hot]]
+#else
+#define TSUNAMI_HOT_PATH
+#endif

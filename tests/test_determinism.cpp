@@ -277,8 +277,8 @@ TEST_P(WorkerCountTest, ReductionsAreInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, WorkerCountTest,
                          ::testing::ValuesIn(worker_counts()),
-                         [](const auto& info) {
-                           return "workers" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "workers" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -416,13 +416,13 @@ INSTANTIATE_TEST_SUITE_P(
                       KernelCase{KernelVariant::FusedPA, 3},
                       KernelCase{KernelVariant::FusedMF, 2},
                       KernelCase{KernelVariant::FusedMF, 3}),
-    [](const auto& info) {
-      return to_string(info.param.variant).substr(0, 1) +
-             std::to_string(info.param.order) +
-             (info.param.variant == KernelVariant::FusedMF ? "MF" :
-              info.param.variant == KernelVariant::FusedPA ? "FP" :
-              info.param.variant == KernelVariant::OptimizedPA ? "OP" :
-              info.param.variant == KernelVariant::SharedPA ? "SP" : "IP");
+    [](const auto& param_info) {
+      const auto& kc = param_info.param;
+      return to_string(kc.variant).substr(0, 1) + std::to_string(kc.order) +
+             (kc.variant == KernelVariant::FusedMF ? "MF" :
+              kc.variant == KernelVariant::FusedPA ? "FP" :
+              kc.variant == KernelVariant::OptimizedPA ? "OP" :
+              kc.variant == KernelVariant::SharedPA ? "SP" : "IP");
     });
 
 TEST(KernelCosts, InitialPaCostsMoreFlops) {

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run the curated .clang-tidy wall over every src/ translation unit, failing
+# on any finding (WarningsAsErrors: '*' in .clang-tidy). Used by the CI
+# `tidy` job; runs locally wherever clang-tidy is installed:
+#
+#     tools/ci/run_clang_tidy.sh [build-dir]
+#
+# The build dir must hold a compile_commands.json (the repo configures with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON unconditionally).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+tidy="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "${tidy}" >/dev/null 2>&1; then
+  echo "error: ${tidy} not found (set CLANG_TIDY or install clang-tidy)" >&2
+  exit 2
+fi
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json missing; configure first:" >&2
+  echo "    cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 2
+fi
+
+# One clang-tidy process per core; any nonzero exit fails the whole run.
+find "${repo_root}/src" -name '*.cpp' -print0 | sort -z |
+  xargs -0 -n 1 -P "$(nproc)" "${tidy}" -p "${build_dir}" --quiet
+
+echo "clang-tidy: OK ($(find "${repo_root}/src" -name '*.cpp' | wc -l) TUs)"

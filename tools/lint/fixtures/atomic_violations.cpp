@@ -1,0 +1,26 @@
+// expect: atomic-explicit-order atomic-mo-comment atomic-mo-comment atomic-seq-cst
+#include <atomic>
+
+std::atomic<bool> flag{false};
+std::atomic<int> top{0};
+
+void implicit_order() {
+  flag.store(true);  // defaulted seq_cst, no rationale: two violations
+}
+
+void undocumented_seq_cst() {
+  // mo: seq_cst — has a rationale, but seq_cst still needs an exemption
+  top.store(1, std::memory_order_seq_cst);
+}
+
+// Padding so the mo: comment above is outside the coverage radius of the
+// store below — the radius covers a cluster, not the whole file; the
+// blank distance here is what keeps this a genuine missing-comment case.
+// (Four comment lines plus the function header exceed the 8-line window
+// only together with these filler lines.)
+//
+//
+//
+void missing_comment() {
+  top.store(2, std::memory_order_release);
+}

@@ -1,0 +1,18 @@
+// expect:
+// A compliant file: explicit orders with mo: rationales, allocation kept out
+// of hot paths (or allowed at grow-once sites), seeded randomness only.
+#include <atomic>
+#include <vector>
+
+std::atomic<int> counter{0};
+std::vector<double> scratch;
+
+void cold_setup() {
+  scratch.reserve(128);  // growth outside hot paths needs no annotation
+}
+
+TSUNAMI_HOT_PATH void hot(int n) {
+  scratch.resize(static_cast<std::size_t>(n));  // lint: allow(hot-path-alloc) grow-once workspace
+  // mo: relaxed — independent statistic, nothing published through it.
+  counter.fetch_add(1, std::memory_order_relaxed);
+}

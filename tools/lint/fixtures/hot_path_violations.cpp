@@ -1,0 +1,22 @@
+// expect: hot-path-alloc hot-path-alloc hot-path-lock hot-path-lock
+// (lock_guard<std::mutex> trips both the lock_guard and std::mutex tokens)
+#include <mutex>
+#include <vector>
+
+std::vector<double> buf;
+std::mutex m;
+
+TSUNAMI_HOT_PATH void hot_alloc() {
+  buf.push_back(1.0);
+  double* p = new double[8];
+  delete[] p;
+}
+
+TSUNAMI_HOT_PATH void hot_lock() {
+  const std::lock_guard<std::mutex> lock(m);
+}
+
+void cold_is_fine() {
+  buf.push_back(2.0);
+  const std::lock_guard<std::mutex> lock(m);
+}

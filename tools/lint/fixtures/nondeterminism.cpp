@@ -1,0 +1,11 @@
+// expect: nondeterminism nondeterminism
+#include <cstdlib>
+#include <ctime>
+
+int unseeded() { return rand(); }
+
+long wall() { return time(NULL); }
+
+// Comment text mentioning rand() or time() is not code and must not fire.
+double total_time(double s) { return s; }  // suffix match must not fire
+long stamped() { return time(NULL); }  // lint: allow(nondeterminism) boot stamp

@@ -1,0 +1,23 @@
+// expect: workspace-pairing
+#pragma once
+#include <span>
+
+struct Workspace;
+
+class Paired {
+ public:
+  void apply(std::span<const double> x, std::span<double> y) const;
+  void apply(std::span<const double> x, std::span<double> y,
+             Workspace& ws) const;
+};
+
+class Unpaired {
+ public:
+  // Workspace overload with no legacy overload: violation.
+  void apply_transpose(std::span<const double> x, std::span<double> y,
+                       Workspace& ws) const;
+
+ private:
+  // "impl" names are private machinery and exempt from pairing.
+  void apply_impl(std::span<const double> x, Workspace& ws) const;
+};

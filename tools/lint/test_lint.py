@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/lint/lint.py.
+
+Two layers:
+  * unit tests driving each scan_* rule over inline C++ snippets
+    (positive: the violation fires; negative: compliant code is clean);
+  * an end-to-end test materializing a miniature repo tree (src/ +
+    exemptions.txt) in a temp dir and running lint_tree / atomics_doc on it,
+    including the fixtures/ corpus checked in next to this file.
+
+Registered as the `lint_selftest` CTest.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import unittest
+from pathlib import Path
+
+import lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def run_rules(text: str, path: str = "src/x.cpp"):
+    fl = lint.FileLint(path, text)
+    return lint.lint_file(fl, path.endswith(".hpp"))
+
+
+def rules_of(violations):
+    return sorted(v.rule for v in violations)
+
+
+class StripCodeTest(unittest.TestCase):
+    def test_comments_and_strings_blanked_positions_kept(self):
+        text = 'a; // rand()\nb = "time(NULL)";\n/* clock() */ c;\n'
+        stripped = lint.strip_code(text)
+        self.assertEqual(len(stripped), len(text))
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        for token in ("rand", "time", "clock"):
+            self.assertNotIn(token, stripped)
+        self.assertIn("a;", stripped)
+        self.assertIn("c;", stripped)
+
+    def test_escaped_quote_does_not_end_string(self):
+        stripped = lint.strip_code('x = "a\\"rand()"; y;')
+        self.assertNotIn("rand", stripped)
+        self.assertIn("y;", stripped)
+
+
+class AtomicRulesTest(unittest.TestCase):
+    def test_defaulted_order_flagged(self):
+        violations, _ = run_rules("void f() { flag.store(true); }\n")
+        self.assertIn("atomic-explicit-order", rules_of(violations))
+
+    def test_explicit_order_with_mo_comment_clean(self):
+        violations, sites = run_rules(
+            "void f() {\n"
+            "  // mo: relaxed -- statistic\n"
+            "  n.fetch_add(1, std::memory_order_relaxed);\n"
+            "}\n")
+        self.assertEqual(violations, [])
+        self.assertEqual(len(sites), 1)
+        self.assertEqual(sites[0].order, "relaxed")
+        self.assertIn("statistic", sites[0].rationale)
+
+    def test_project_alias_counts_as_explicit(self):
+        violations, sites = run_rules(
+            "void f() {\n"
+            "  // mo: relaxed -- alias form\n"
+            "  n.fetch_add(1, relaxed);\n"
+            "}\n")
+        self.assertEqual(violations, [])
+        self.assertEqual(sites[0].order, "relaxed")
+
+    def test_missing_mo_comment_flagged(self):
+        violations, _ = run_rules(
+            "void f() { n.load(std::memory_order_acquire); }\n")
+        self.assertEqual(rules_of(violations), ["atomic-mo-comment"])
+
+    def test_mo_comment_radius(self):
+        pad = "  int x;\n" * lint.MO_COMMENT_RADIUS
+        text = ("// mo: relaxed -- too far away\n" + pad +
+                "void f() { n.load(std::memory_order_relaxed); }\n")
+        violations, _ = run_rules(text)
+        self.assertEqual(rules_of(violations), ["atomic-mo-comment"])
+
+    def test_one_comment_covers_a_cluster(self):
+        violations, _ = run_rules(
+            "void f() {\n"
+            "  // mo: relaxed -- both are plain counters\n"
+            "  a.fetch_add(1, std::memory_order_relaxed);\n"
+            "  b.fetch_add(1, std::memory_order_relaxed);\n"
+            "}\n")
+        self.assertEqual(violations, [])
+
+    def test_seq_cst_flagged_without_exemption(self):
+        violations, _ = run_rules(
+            "void f() {\n"
+            "  // mo: seq_cst -- protocol\n"
+            "  t.store(1, std::memory_order_seq_cst);\n"
+            "}\n")
+        self.assertEqual(rules_of(violations), ["atomic-seq-cst"])
+
+    def test_seq_cst_inline_allow(self):
+        violations, _ = run_rules(
+            "void f() {\n"
+            "  // mo: seq_cst -- protocol\n"
+            "  // lint: allow(atomic-seq-cst) deque protocol\n"
+            "  t.store(1, std::memory_order_seq_cst);\n"
+            "}\n")
+        self.assertEqual(violations, [])
+
+    def test_multiline_call_args_extracted(self):
+        violations, sites = run_rules(
+            "void f() {\n"
+            "  // mo: release -- publishes\n"
+            "  p.store(grown,\n"
+            "          std::memory_order_release);\n"
+            "}\n")
+        self.assertEqual(violations, [])
+        self.assertEqual(sites[0].order, "release")
+
+    def test_commented_out_atomic_ignored(self):
+        violations, sites = run_rules("void f() { /* n.load(); */ }\n")
+        self.assertEqual(violations, [])
+        self.assertEqual(sites, [])
+
+
+class HotPathRulesTest(unittest.TestCase):
+    def test_alloc_in_hot_path_flagged(self):
+        violations, _ = run_rules(
+            "TSUNAMI_HOT_PATH void f() { v.push_back(1); }\n")
+        self.assertEqual(rules_of(violations), ["hot-path-alloc"])
+
+    def test_lock_in_hot_path_flagged(self):
+        violations, _ = run_rules(
+            "TSUNAMI_HOT_PATH void f() {\n"
+            "  const std::lock_guard<std::mutex> lock(m);\n"
+            "}\n")
+        self.assertIn("hot-path-lock", rules_of(violations))
+
+    def test_alloc_outside_hot_path_clean(self):
+        violations, _ = run_rules(
+            "void cold() { v.push_back(1); new int; }\n")
+        self.assertEqual(violations, [])
+
+    def test_grow_once_allow(self):
+        violations, _ = run_rules(
+            "TSUNAMI_HOT_PATH void f() {\n"
+            "  ws.resize(n);  // lint: allow(hot-path-alloc) grow-once\n"
+            "}\n")
+        self.assertEqual(violations, [])
+
+    def test_declaration_only_not_scanned(self):
+        # The annotation on a declaration must not swallow the next
+        # function's body.
+        violations, _ = run_rules(
+            "TSUNAMI_HOT_PATH void f(int n);\n"
+            "void cold() { v.push_back(1); }\n")
+        self.assertEqual(violations, [])
+
+    def test_macro_definition_line_ignored(self):
+        violations, _ = run_rules(
+            "#define TSUNAMI_HOT_PATH [[gnu::hot]]\n"
+            "void cold() { v.push_back(1); }\n")
+        self.assertEqual(violations, [])
+
+    def test_multiline_body(self):
+        violations, _ = run_rules(
+            "TSUNAMI_HOT_PATH static void f(\n"
+            "    int a,\n"
+            "    int b) {\n"
+            "  for (int i = 0; i < a; ++i) {\n"
+            "    out.emplace_back(i);\n"
+            "  }\n"
+            "}\n")
+        self.assertEqual(rules_of(violations), ["hot-path-alloc"])
+
+
+class NondeterminismTest(unittest.TestCase):
+    def test_rand_flagged(self):
+        violations, _ = run_rules("int f() { return rand(); }\n")
+        self.assertEqual(rules_of(violations), ["nondeterminism"])
+
+    def test_random_device_flagged(self):
+        violations, _ = run_rules("std::random_device rd;\n")
+        self.assertEqual(rules_of(violations), ["nondeterminism"])
+
+    def test_time_null_flagged(self):
+        violations, _ = run_rules("long t = time(NULL);\n")
+        self.assertEqual(rules_of(violations), ["nondeterminism"])
+
+    def test_lookbehind_spares_suffixed_names(self):
+        violations, _ = run_rules(
+            "double total_time() { return s.total_time(); }\n"
+            "double wallclock() { return sw.clock_seconds; }\n")
+        self.assertEqual(violations, [])
+
+    def test_inline_allow(self):
+        violations, _ = run_rules(
+            "long t = time(NULL);  // lint: allow(nondeterminism) boot stamp\n")
+        self.assertEqual(violations, [])
+
+
+class WorkspacePairingTest(unittest.TestCase):
+    def test_unpaired_ws_overload_flagged(self):
+        violations, _ = run_rules(
+            "void apply(std::span<const double> x, std::span<double> y,\n"
+            "           Workspace& ws) const;\n",
+            path="src/x.hpp")
+        self.assertEqual(rules_of(violations), ["workspace-pairing"])
+
+    def test_paired_overloads_clean(self):
+        violations, _ = run_rules(
+            "void apply(std::span<const double> x, std::span<double> y,\n"
+            "           Workspace& ws) const;\n"
+            "void apply(std::span<const double> x, std::span<double> y) const;\n",
+            path="src/x.hpp")
+        self.assertEqual(violations, [])
+
+    def test_impl_methods_skipped(self):
+        violations, _ = run_rules(
+            "void apply_impl(std::span<const double> x, Workspace& ws) const;\n",
+            path="src/x.hpp")
+        self.assertEqual(violations, [])
+
+    def test_rule_is_header_only(self):
+        violations, _ = run_rules(
+            "void T::apply(std::span<const double> x, std::span<double> y,\n"
+            "              Workspace& ws) const {}\n",
+            path="src/x.cpp")
+        self.assertEqual(violations, [])
+
+
+class EndToEndTest(unittest.TestCase):
+    def make_tree(self, files: dict[str, str], exemptions: str = "") -> Path:
+        root = Path(self.enterContext(tempfile.TemporaryDirectory()))
+        for rel, text in files.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(text)
+        if exemptions:
+            p = root / "tools" / "lint" / "exemptions.txt"
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(exemptions)
+        return root
+
+    def test_fixture_corpus(self):
+        """The checked-in fixtures encode the expected rule hits per file."""
+        self.assertTrue(FIXTURES.is_dir(), "fixtures/ corpus missing")
+        for path in sorted(FIXTURES.glob("*.cpp")) + sorted(
+                FIXTURES.glob("*.hpp")):
+            with self.subTest(fixture=path.name):
+                first = path.read_text().splitlines()[0]
+                self.assertTrue(first.startswith("// expect:"), path.name)
+                expected = sorted(first.removeprefix("// expect:").split())
+                fl = lint.FileLint(path.name, path.read_text())
+                violations, _ = lint.lint_file(fl, path.suffix == ".hpp")
+                self.assertEqual(rules_of(violations), expected)
+
+    def test_lint_tree_applies_exemptions(self):
+        root = self.make_tree(
+            {"src/a.cpp": "void f() {\n"
+                          "  // mo: seq_cst -- modeled protocol\n"
+                          "  t.store(1, std::memory_order_seq_cst);\n"
+                          "}\n"},
+            exemptions="atomic-seq-cst  src/a.cpp  modeled protocol\n")
+        violations, sites = lint.lint_tree(root)
+        self.assertEqual(violations, [])
+        self.assertEqual(len(sites), 1)
+
+    def test_lint_tree_reports_unexempted(self):
+        root = self.make_tree(
+            {"src/a.cpp": "int f() { return rand(); }\n"})
+        violations, _ = lint.lint_tree(root)
+        self.assertEqual(rules_of(violations), ["nondeterminism"])
+
+    def test_malformed_exemption_rejected(self):
+        root = self.make_tree({"src/a.cpp": "int x;\n"},
+                              exemptions="atomic-seq-cst src/a.cpp\n")
+        with self.assertRaises(SystemExit):
+            lint.lint_tree(root)
+
+    def test_atomics_doc_roundtrip_and_staleness(self):
+        root = self.make_tree(
+            {"src/a.cpp": "void f() {\n"
+                          "  // mo: relaxed -- counter\n"
+                          "  n.fetch_add(1, std::memory_order_relaxed);\n"
+                          "}\n"})
+        self.assertEqual(lint.main(["--root", str(root),
+                                    "--write-atomics-doc"]), 0)
+        self.assertEqual(lint.main(["--root", str(root),
+                                    "--check-atomics-doc"]), 0)
+        doc = root / "docs" / "atomics.md"
+        self.assertIn("n.fetch_add", doc.read_text())
+        doc.write_text(doc.read_text() + "drift\n")
+        self.assertEqual(lint.main(["--root", str(root),
+                                    "--check-atomics-doc"]), 1)
+
+    def test_main_exit_codes(self):
+        clean = self.make_tree({"src/a.cpp": "int x;\n"})
+        self.assertEqual(lint.main(["--root", str(clean)]), 0)
+        dirty = self.make_tree({"src/a.cpp": "int f() { return rand(); }\n"})
+        self.assertEqual(lint.main(["--root", str(dirty)]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
