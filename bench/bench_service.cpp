@@ -138,6 +138,12 @@ int main() {
                 {"push_p50_ns", telem.push_latency.p50 * 1e9},
                 {"push_p95_ns", telem.push_latency.p95 * 1e9},
                 {"push_p99_ns", telem.push_latency.p99 * 1e9},
+                // SLO: time from open_event to first published forecast,
+                // one sample per event in this replay.
+                {"ttff_p50_ns",
+                 telem.time_to_first_forecast.percentile(50.0) * 1e9},
+                {"ttff_p95_ns",
+                 telem.time_to_first_forecast.percentile(95.0) * 1e9},
                 {"serial_wall_ns", serial_s * 1e9}},
                bu::Stat{service_s * 1e9, service_s * 1e9, service_s * 1e9, 1});
   }

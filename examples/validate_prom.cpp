@@ -1,0 +1,45 @@
+// Prometheus exposition-format checker for scraped /metrics output.
+//
+// Reads an exposition text from stdin (or a file argument), runs it through
+// obs::validate_prometheus — the same checker tests/test_obs.cpp trusts —
+// and exits 0 iff it parses cleanly. CI pipes `curl :9109/metrics` through
+// this instead of re-implementing a validator in shell:
+//
+//   $ curl -s localhost:9109/metrics | ./examples/validate_prom
+//   ok: 142 lines
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+int main(int argc, char** argv) {
+  std::string text;
+  std::FILE* in = stdin;
+  if (argc > 1) {
+    in = std::fopen(argv[1], "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "validate_prom: cannot open %s\n", argv[1]);
+      return 2;
+    }
+  }
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) text.append(buf, n);
+  if (in != stdin) std::fclose(in);
+
+  if (text.empty()) {
+    std::fprintf(stderr, "validate_prom: empty input\n");
+    return 1;
+  }
+  const std::string error = tsunami::obs::validate_prometheus(text);
+  if (!error.empty()) {
+    std::fprintf(stderr, "validate_prom: INVALID: %s\n", error.c_str());
+    return 1;
+  }
+  std::size_t lines = 0;
+  for (char c : text)
+    if (c == '\n') ++lines;
+  std::printf("ok: %zu lines\n", lines);
+  return 0;
+}

@@ -17,21 +17,33 @@
 //
 //   $ ./examples/warning_service [n_events]     # default 6
 //
-// Observability hooks (both optional, see docs/ARCHITECTURE.md):
+// Observability hooks (all optional, see docs/ARCHITECTURE.md):
 //   TSUNAMI_TRACE=trace.json    flight-recorder spans -> Chrome trace JSON
 //                               (open in Perfetto / chrome://tracing)
 //   TSUNAMI_METRICS=metrics.prom  Prometheus text exposition of the service,
 //                               pool, and offline-phase metrics at exit
+//   TSUNAMI_HTTP=host:port      live introspection server while the replay
+//                               runs: GET /metrics /healthz /readyz /tracez
+//                               /events (curl any of them mid-replay)
+//   TSUNAMI_HTTP_LINGER=secs    keep serving that long after the replay
+//                               drains, BEFORE events close (CI scrapes a
+//                               live service this way)
+//   TSUNAMI_JOURNAL=path        per-event lifecycle journal -> JSON Lines
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/scenario_bank.hpp"
 #include "obs/bridge.hpp"
+#include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/engine_cache.hpp"
 #include "service/warning_service.hpp"
@@ -84,6 +96,57 @@ int main(int argc, char** argv) {
   const double dt = config.observation_dt;
 
   WarningService service({.num_workers = 4, .max_pending_per_event = nt});
+
+  // TSUNAMI_HTTP=host:port — serve live introspection for the whole replay.
+  // Declared after `service`, so it is destroyed (threads joined) first.
+  std::unique_ptr<obs::HttpExporter> http;
+  if (const char* spec = std::getenv("TSUNAMI_HTTP");
+      spec != nullptr && *spec != '\0') {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!obs::HttpExporter::parse_hostport(spec, host, port)) {
+      std::fprintf(stderr, "[obs] bad TSUNAMI_HTTP spec: %s\n", spec);
+      return 1;
+    }
+    http = std::make_unique<obs::HttpExporter>(
+        obs::HttpExporter::Options{.host = host, .port = port});
+    http->route("/metrics", [&](const obs::HttpRequest&) {
+      obs::MetricsSnapshot snap;
+      service.collect_metrics(snap);
+      obs::collect_pool(ThreadPool::global(), snap);
+      obs::collect_timers(engine->twin().timers(), snap);
+      obs::collect_trace(snap);
+      return obs::HttpResponse{
+          200, "text/plain; version=0.0.4; charset=utf-8",
+          obs::prometheus_text(snap)};
+    });
+    http->route("/healthz", [](const obs::HttpRequest&) {
+      return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+    });
+    http->route("/readyz", [&](const obs::HttpRequest&) {
+      return cache.size() > 0
+                 ? obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"}
+                 : obs::HttpResponse{503, "text/plain; charset=utf-8",
+                                     "no engine loaded\n"};
+    });
+    http->route("/tracez", [](const obs::HttpRequest&) {
+      return obs::HttpResponse{200, "application/json",
+                               obs::chrome_trace_json()};
+    });
+    http->route("/events", [&](const obs::HttpRequest&) {
+      return obs::HttpResponse{200, "application/json",
+                               service.events_json()};
+    });
+    if (!http->start()) {
+      std::fprintf(stderr, "[obs] could not bind %s: %s\n", spec,
+                   http->last_error().c_str());
+      return 1;
+    }
+    std::printf("[obs] introspection server on %s:%u "
+                "(/metrics /healthz /readyz /tracez /events)\n",
+                host.c_str(), static_cast<unsigned>(http->port()));
+  }
+
   std::vector<EventId> ids;
   std::vector<double> thresholds;
   for (std::size_t e = 0; e < n_events; ++e) {
@@ -108,6 +171,18 @@ int main(int argc, char** argv) {
     }
   }
   service.drain();
+
+  // TSUNAMI_HTTP_LINGER=secs: hold the replayed-but-still-open sessions so
+  // an external scraper (CI) can observe a LIVE service — events in flight,
+  // per-session staleness, journals still attached to open sessions.
+  if (const char* linger = std::getenv("TSUNAMI_HTTP_LINGER");
+      http != nullptr && linger != nullptr && *linger != '\0') {
+    const double secs = std::atof(linger);
+    std::printf("[obs] lingering %.1fs with %zu live events for scrapes\n",
+                secs, service.events_in_flight());
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(secs * 1000.0)));
+  }
 
   TextTable table({"event", "Mw", "alert @", "peak @", "lead", "q err",
                    "ticks"});
@@ -144,6 +219,7 @@ int main(int argc, char** argv) {
     service.collect_metrics(snap);
     obs::collect_pool(ThreadPool::global(), snap);
     obs::collect_timers(engine->twin().timers(), snap);
+    obs::collect_trace(snap);
     const std::string text = obs::prometheus_text(snap);
     if (std::FILE* f = std::fopen(metrics_path, "w")) {
       std::fwrite(text.data(), 1, text.size(), f);
@@ -153,6 +229,25 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "[obs] could not write metrics to %s\n",
                    metrics_path);
+    }
+  }
+
+  // TSUNAMI_JOURNAL=path: the full lifecycle journal as JSON Lines — the
+  // open -> first_tick -> push... -> alert_latch -> close timeline of every
+  // event, each push row carrying its queue/push/publish latency budget.
+  if (const char* journal_path = std::getenv("TSUNAMI_JOURNAL");
+      journal_path != nullptr && *journal_path != '\0') {
+    const std::string lines = service.journal().json_lines();
+    if (std::FILE* f = std::fopen(journal_path, "w")) {
+      std::fwrite(lines.data(), 1, lines.size(), f);
+      std::fclose(f);
+      std::printf("[obs] wrote %llu journal records to %s\n",
+                  static_cast<unsigned long long>(
+                      service.journal().appended()),
+                  journal_path);
+    } else {
+      std::fprintf(stderr, "[obs] could not write journal to %s\n",
+                   journal_path);
     }
   }
 

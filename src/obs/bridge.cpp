@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -50,6 +51,21 @@ void collect_pool(const ThreadPool& pool, MetricsSnapshot& snapshot) {
         uptime > 0.0 ? std::min(1.0, stats[i].busy_seconds / uptime) : 0.0,
         labels, "Busy fraction of wall time since spawn, in [0, 1]");
   }
+}
+
+void collect_trace(MetricsSnapshot& snapshot) {
+  snapshot.counter("tsunami_trace_dropped_total",
+                   static_cast<double>(trace_dropped_count()), {},
+                   "Spans overwritten by trace-ring wrap (size the ring via "
+                   "TSUNAMI_TRACE_RING)");
+  snapshot.gauge("tsunami_trace_spans_retained",
+                 static_cast<double>(trace_span_count()), {},
+                 "Spans currently retained across all thread rings");
+  snapshot.gauge("tsunami_trace_ring_capacity",
+                 static_cast<double>(trace_buffer_capacity()), {},
+                 "Per-thread span-ring capacity for new threads");
+  snapshot.gauge("tsunami_trace_enabled", trace_enabled() ? 1.0 : 0.0, {},
+                 "1 while the flight recorder is recording spans");
 }
 
 }  // namespace tsunami::obs

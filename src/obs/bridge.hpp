@@ -31,4 +31,10 @@ void collect_timers(const TimerRegistry& timers, MetricsSnapshot& snapshot,
 /// pool uptime in [0, 1].
 void collect_pool(const ThreadPool& pool, MetricsSnapshot& snapshot);
 
+/// Flight-recorder health: tsunami_trace_dropped_total (spans overwritten by
+/// ring wrap — nonzero means an export is a suffix, size the ring up via
+/// TSUNAMI_TRACE_RING), tsunami_trace_spans_retained,
+/// tsunami_trace_ring_capacity, and tsunami_trace_enabled.
+void collect_trace(MetricsSnapshot& snapshot);
+
 }  // namespace tsunami::obs

@@ -1,0 +1,287 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace tsunami::obs {
+
+namespace {
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+/// Write the full buffer, riding out short writes and EINTR.
+bool send_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void send_response(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     status_reason(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (send_all(fd, head.data(), head.size()))
+    send_all(fd, response.body.data(), response.body.size());
+}
+
+HttpResponse error_response(int status, const std::string& detail) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::to_string(status) + " " + status_reason(status) +
+                  (detail.empty() ? "" : ": " + detail) + "\n";
+  return response;
+}
+
+/// Parse "METHOD TARGET HTTP/x.y" out of the first request line. Headers are
+/// read (to drain the socket) but ignored — no introspection route needs one.
+bool parse_request_line(const std::string& raw, HttpRequest& request) {
+  const std::size_t eol = raw.find("\r\n");
+  const std::string line = raw.substr(0, eol);  // npos -> whole string
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  request.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (line.compare(sp2 + 1, 5, "HTTP/") != 0) return false;
+  if (request.method.empty() || target.empty() || target[0] != '/')
+    return false;
+  const std::size_t qmark = target.find('?');
+  if (qmark != std::string::npos) {
+    request.query = target.substr(qmark + 1);
+    target.resize(qmark);
+  }
+  request.target = std::move(target);
+  return true;
+}
+
+}  // namespace
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::route(std::string path, Handler handler) {
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool HttpExporter::start() {
+  if (running()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    last_error_ = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "bad bind address: " + options_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, SOMAXCONN) != 0) {
+    last_error_ = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0)
+    bound_port_ = ntohs(bound.sin_port);
+
+  // mo: relaxed — the spawns below happen-before any thread observes the
+  // flag via the std::thread constructor's synchronization.
+  running_.store(true, std::memory_order_relaxed);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  const std::size_t n_handlers = std::max<std::size_t>(1, options_.handler_threads);
+  handlers_.reserve(n_handlers);
+  for (std::size_t i = 0; i < n_handlers; ++i)
+    handlers_.emplace_back([this, i] {
+      set_thread_name("http-handler-" + std::to_string(i));
+      handler_loop();
+    });
+  return true;
+}
+
+void HttpExporter::stop() {
+  // mo: relaxed — loop-exit flag; the shutdown()/cv wakeups below force
+  // every thread to re-check it promptly.
+  if (!running_.exchange(false, std::memory_order_relaxed)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);  // wake accept()
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& t : handlers_)
+    if (t.joinable()) t.join();
+  handlers_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (int fd : queue_) ::close(fd);
+  queue_.clear();
+}
+
+void HttpExporter::accept_loop() {
+  set_thread_name("http-acceptor");
+  while (running()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running()) break;
+      continue;  // transient (EMFILE, ECONNABORTED): keep serving
+    }
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.size() >= options_.max_queued_connections) {
+        shed = true;
+      } else {
+        queue_.push_back(fd);
+      }
+    }
+    if (shed) {
+      // mo: relaxed — statistics counter, no ordering needed.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      send_response(fd, error_response(503, "connection queue full"));
+      ::close(fd);
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+}
+
+void HttpExporter::handler_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty() || !running(); });
+      if (queue_.empty()) return;  // stopping and drained
+      fd = queue_.back();
+      queue_.pop_back();
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::serve_connection(int fd) {
+  timeval tv{};
+  tv.tv_sec = options_.recv_timeout_ms / 1000;
+  tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  // Read until the blank line ending the header block (we ignore bodies —
+  // GET-only protocol), a timeout, or the size bound.
+  std::string raw;
+  char buf[1024];
+  bool complete = false;
+  bool timed_out = false;
+  while (raw.size() < options_.max_request_bytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      timed_out = (errno == EAGAIN || errno == EWOULDBLOCK);
+      break;
+    }
+    if (n == 0) break;  // peer closed
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (raw.find("\r\n\r\n") != std::string::npos ||
+        raw.find("\n\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+  }
+
+  HttpResponse response;
+  HttpRequest request;
+  if (!complete) {
+    response = timed_out
+                   ? error_response(408, "header not received in time")
+                   : error_response(raw.size() >= options_.max_request_bytes
+                                        ? 431
+                                        : 400,
+                                    "incomplete request");
+  } else if (!parse_request_line(raw, request)) {
+    response = error_response(400, "malformed request line");
+  } else if (request.method != "GET") {
+    response = error_response(405, "only GET is supported");
+  } else {
+    response = dispatch(request);
+  }
+  // mo: relaxed — statistics counter, no ordering needed.
+  served_.fetch_add(1, std::memory_order_relaxed);
+  send_response(fd, response);
+}
+
+HttpResponse HttpExporter::dispatch(const HttpRequest& request) const {
+  for (const auto& [path, handler] : routes_) {
+    if (path != request.target) continue;
+    try {
+      return handler(request);
+    } catch (const std::exception& e) {
+      return error_response(500, e.what());
+    } catch (...) {
+      return error_response(500, "handler threw");
+    }
+  }
+  return error_response(404, request.target);
+}
+
+bool HttpExporter::parse_hostport(const std::string& spec, std::string& host,
+                                  std::uint16_t& port) {
+  std::string port_str = spec;
+  host = "127.0.0.1";
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
+  }
+  if (port_str.empty() ||
+      port_str.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  const unsigned long value = std::stoul(port_str);
+  if (value > 65535) return false;
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+}  // namespace tsunami::obs

@@ -1,0 +1,143 @@
+#pragma once
+
+// Dependency-free HTTP/1.0 introspection server over raw POSIX sockets.
+//
+// The serving layer (src/service) answers "what is the forecast"; this module
+// answers "what is the service doing RIGHT NOW" without attaching a debugger
+// or restarting with different flags. It exists so an operator (or CI) can:
+//
+//   curl :9109/metrics   -> Prometheus text (every collect_* series)
+//   curl :9109/healthz   -> liveness ("ok" while the process responds)
+//   curl :9109/readyz    -> readiness (handler decides: engines loaded?)
+//   curl :9109/tracez    -> Chrome trace JSON straight into Perfetto
+//   curl :9109/events    -> per-event lifecycle state + journal (JSON)
+//
+// Design constraints, in priority order:
+//   1. NEVER touch the hot path. The exporter owns one acceptor thread and a
+//      small handler pool; handlers call read-side collectors (metric loads,
+//      trace/journal snapshots) that are lock-free on the writer side. No
+//      service code ever blocks on an HTTP client.
+//   2. No third-party deps. HTTP/1.0, Connection: close, GET only — that is
+//      the whole protocol surface a scraper or curl needs, and it fits in a
+//      few hundred auditable lines of socket code.
+//   3. Bounded everything: request size, header time, queued connections,
+//      handler threads. A slow-loris client costs one queue slot for
+//      recv_timeout_ms, then a 408; an accept burst beyond the queue bound is
+//      shed with 503 instead of growing memory.
+//
+// Lifecycle: construct, route() every path, start() once, stop() (also run
+// by the destructor) to join threads. Routes are immutable after start() —
+// that is what makes dispatch lock-free.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tsunami::obs {
+
+/// Parsed request line, enough for an introspection GET.
+struct HttpRequest {
+  std::string method;  ///< "GET"
+  std::string target;  ///< path without query, e.g. "/metrics"
+  std::string query;   ///< raw query string after '?', may be empty
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpExporter {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";  ///< bind address (IPv4 dotted quad)
+    std::uint16_t port = 0;          ///< 0 = ephemeral, read back via port()
+    std::size_t handler_threads = 2;
+    std::size_t max_queued_connections = 32;  ///< beyond this: shed with 503
+    std::size_t max_request_bytes = 8192;     ///< beyond this: 431
+    int recv_timeout_ms = 2000;               ///< slow client: 408
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpExporter() = default;
+  explicit HttpExporter(Options options) : options_(std::move(options)) {}
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Register a handler for an exact path. Must be called before start().
+  void route(std::string path, Handler handler);
+
+  /// Bind, listen, and spawn the acceptor + handler threads. Returns false
+  /// (with the OS error in last_error()) if the socket could not be bound.
+  [[nodiscard]] bool start();
+
+  /// Shut the listener down and join every thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    // mo: relaxed — monitoring read of an on/off flag; staleness only
+    // delays the observation of a concurrent stop().
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  /// The bound port (resolves an ephemeral request). 0 before start().
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+  /// Requests answered with any status (including error statuses).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    // mo: relaxed — monitoring read of a monotone counter.
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  /// Connections shed before parsing (accept-queue overflow).
+  [[nodiscard]] std::uint64_t requests_rejected() const {
+    // mo: relaxed — same monitoring-read contract as requests_served().
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Split "host:port" / ":port" / "port" into a (host, port) pair; host
+  /// defaults to 127.0.0.1. Returns false on an unparsable port.
+  [[nodiscard]] static bool parse_hostport(const std::string& spec,
+                                           std::string& host,
+                                           std::uint16_t& port);
+
+ private:
+  void accept_loop();
+  void handler_loop();
+  void serve_connection(int fd);
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request) const;
+
+  Options options_;
+  std::vector<std::pair<std::string, Handler>> routes_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string last_error_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+
+  // Bounded connection queue feeding the handler pool (cold path: locking
+  // here is fine, no service thread ever enqueues).
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::vector<int> queue_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace tsunami::obs

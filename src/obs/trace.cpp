@@ -138,12 +138,17 @@ void append_json_escaped(std::string& out, const char* s) {
 struct TraceBoot {
   TraceBoot() {
     (void)epoch_ns();
-    if (const char* cap = std::getenv("TSUNAMI_TRACE_BUFFER");
-        cap != nullptr && *cap != '\0') {
+    // TSUNAMI_TRACE_RING is the documented knob; TSUNAMI_TRACE_BUFFER is the
+    // legacy alias (first one set wins, RING preferred).
+    for (const char* var : {"TSUNAMI_TRACE_RING", "TSUNAMI_TRACE_BUFFER"}) {
+      const char* cap = std::getenv(var);
+      if (cap == nullptr || *cap == '\0') continue;
       char* end = nullptr;
       const long v = std::strtol(cap, &end, 10);
-      if (end != cap && v > 0)
+      if (end != cap && v > 0) {
         set_trace_buffer_capacity(static_cast<std::size_t>(v));
+        break;
+      }
     }
     const char* path = std::getenv("TSUNAMI_TRACE");
     if (path != nullptr && *path != '\0') {
@@ -204,6 +209,11 @@ void set_trace_buffer_capacity(std::size_t spans) {
   // creation; no memory is published through it.
   g_buffer_capacity.store(std::clamp(spans, kMinCapacity, kMaxCapacity),
                           std::memory_order_relaxed);
+}
+
+std::size_t trace_buffer_capacity() {
+  // mo: relaxed — same configuration-scalar contract as the setter.
+  return g_buffer_capacity.load(std::memory_order_relaxed);
 }
 
 void set_thread_name(const std::string& name) {

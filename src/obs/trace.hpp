@@ -71,9 +71,19 @@ void record_instant(const char* category, const char* name);
 void set_trace_enabled(bool enabled);
 
 /// Per-thread ring capacity in spans for buffers created AFTER this call
-/// (existing buffers keep their size). Also settable via
-/// TSUNAMI_TRACE_BUFFER. Clamped to [64, 1 << 22]; default 8192.
+/// (existing buffers keep their size). Also settable via the
+/// TSUNAMI_TRACE_RING environment variable (TSUNAMI_TRACE_BUFFER is honored
+/// as a legacy alias). Clamped to [64, 1 << 22]; default 8192.
 void set_trace_buffer_capacity(std::size_t spans);
+
+/// The ring capacity new per-thread buffers are created with.
+[[nodiscard]] std::size_t trace_buffer_capacity();
+
+/// Nanoseconds on the tracing module's monotonic clock (steady_clock pinned
+/// to a process-start epoch). The shared timebase of trace spans, journal
+/// records (src/service/event_journal.hpp), and forecast-staleness gauges,
+/// so all three line up in one timeline.
+[[nodiscard]] inline std::int64_t monotonic_ns() { return detail::now_ns(); }
 
 /// Label the calling thread in the exported trace ("pool-worker-3"). Safe to
 /// call whether or not tracing is enabled; cheap enough for thread startup.

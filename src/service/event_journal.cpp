@@ -1,0 +1,139 @@
+#include "service/event_journal.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace tsunami {
+
+namespace {
+constexpr std::size_t kMinCapacity = 64;
+}  // namespace
+
+/// All-atomic so the exporter's concurrent reads of a slot being rewritten
+/// are well-defined (same contract as the trace ring's Slot). `seq` is the
+/// reservation index + 1, stored last with release: a reader that observes
+/// seq == pos + 1 (acquire) also observes every field store that preceded
+/// the publish.
+struct EventJournal::Slot {
+  std::atomic<std::uint64_t> seq{0};  ///< 0 = never written
+  std::atomic<std::uint64_t> event{0};
+  std::atomic<std::uint8_t> kind{0};
+  std::atomic<std::uint64_t> tick{0};
+  std::atomic<std::int64_t> t_ns{0};
+  std::atomic<std::int64_t> queue_wait_ns{0};
+  std::atomic<std::int64_t> push_ns{0};
+  std::atomic<std::int64_t> publish_ns{0};
+  std::atomic<std::int64_t> total_ns{0};
+};
+
+const char* journal_kind_name(JournalKind kind) {
+  switch (kind) {
+    case JournalKind::kOpen: return "open";
+    case JournalKind::kFirstTick: return "first_tick";
+    case JournalKind::kPush: return "push";
+    case JournalKind::kReorderStall: return "reorder_stall";
+    case JournalKind::kBackpressureBlock: return "backpressure_block";
+    case JournalKind::kBackpressureReject: return "backpressure_reject";
+    case JournalKind::kAlertLatch: return "alert_latch";
+    case JournalKind::kAlertUnlatch: return "alert_unlatch";
+    case JournalKind::kClose: return "close";
+  }
+  return "unknown";
+}
+
+EventJournal::EventJournal(std::size_t capacity)
+    : capacity_(std::max(capacity, kMinCapacity)),
+      slots_(new Slot[capacity_]) {}
+
+EventJournal::~EventJournal() = default;
+
+void EventJournal::append(const JournalRecord& record) {
+  // mo: relaxed fetch_add — slot reservation only needs a unique index per
+  // writer; the record itself is published by the release store below.
+  const std::uint64_t pos = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[pos % capacity_];
+  // mo: relaxed — field stores need no individual ordering; the seq release
+  // store below publishes them all to acquire readers at once.
+  s.event.store(record.event, std::memory_order_relaxed);
+  s.kind.store(static_cast<std::uint8_t>(record.kind),
+               std::memory_order_relaxed);
+  s.tick.store(record.tick, std::memory_order_relaxed);
+  s.t_ns.store(record.t_ns, std::memory_order_relaxed);
+  s.queue_wait_ns.store(record.queue_wait_ns, std::memory_order_relaxed);
+  s.push_ns.store(record.push_ns, std::memory_order_relaxed);
+  // mo: relaxed — same field-store contract as above.
+  s.publish_ns.store(record.publish_ns, std::memory_order_relaxed);
+  s.total_ns.store(record.total_ns, std::memory_order_relaxed);
+  // mo: release — publishes the fields above; a reader that observes this
+  // seq with acquire sees a complete record.
+  s.seq.store(pos + 1, std::memory_order_release);
+}
+
+std::uint64_t EventJournal::appended() const {
+  // mo: relaxed — monitoring read of a monotone counter.
+  return head_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t EventJournal::dropped() const {
+  // mo: relaxed — same monitoring-read contract as appended().
+  const std::uint64_t n = head_.load(std::memory_order_relaxed);
+  return n > capacity_ ? n - capacity_ : 0;
+}
+
+std::vector<JournalRecord> EventJournal::snapshot() const {
+  // mo: relaxed — a point-in-time high-water mark; records appended after
+  // this load are simply not in the snapshot.
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t begin = head > capacity_ ? head - capacity_ : 0;
+  std::vector<JournalRecord> out;
+  out.reserve(static_cast<std::size_t>(head - begin));
+  for (std::uint64_t pos = begin; pos < head; ++pos) {
+    const Slot& s = slots_[pos % capacity_];
+    // mo: acquire — pairs with append()'s release publish; a matching seq
+    // guarantees the field loads below read the complete record.
+    if (s.seq.load(std::memory_order_acquire) != pos + 1)
+      continue;  // reserved but unpublished, or already overwritten
+    JournalRecord r;
+    // mo: relaxed — covered by the acquire on seq above.
+    r.event = s.event.load(std::memory_order_relaxed);
+    r.kind = static_cast<JournalKind>(s.kind.load(std::memory_order_relaxed));
+    r.tick = s.tick.load(std::memory_order_relaxed);
+    r.t_ns = s.t_ns.load(std::memory_order_relaxed);
+    r.queue_wait_ns = s.queue_wait_ns.load(std::memory_order_relaxed);
+    // mo: relaxed — same seq-covered contract as above.
+    r.push_ns = s.push_ns.load(std::memory_order_relaxed);
+    r.publish_ns = s.publish_ns.load(std::memory_order_relaxed);
+    r.total_ns = s.total_ns.load(std::memory_order_relaxed);
+    out.push_back(r);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const JournalRecord& a, const JournalRecord& b) {
+                     return a.t_ns < b.t_ns;
+                   });
+  return out;
+}
+
+void EventJournal::append_record_json(std::string& out,
+                                      const JournalRecord& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"event\":%" PRIu64 ",\"kind\":\"%s\",\"tick\":%" PRIu64
+                ",\"t_ns\":%" PRId64 ",\"queue_wait_ns\":%" PRId64
+                ",\"push_ns\":%" PRId64 ",\"publish_ns\":%" PRId64
+                ",\"total_ns\":%" PRId64 "}",
+                r.event, journal_kind_name(r.kind), r.tick, r.t_ns,
+                r.queue_wait_ns, r.push_ns, r.publish_ns, r.total_ns);
+  out += buf;
+}
+
+std::string EventJournal::json_lines() const {
+  std::string out;
+  for (const JournalRecord& r : snapshot()) {
+    append_record_json(out, r);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tsunami

@@ -10,7 +10,7 @@ namespace tsunami {
 EventSession::EventSession(EventId id,
                            std::shared_ptr<const CachedEngine> engine,
                            const AlertPolicy& alert, std::size_t max_pending,
-                           BackpressurePolicy policy)
+                           BackpressurePolicy policy, EventJournal* journal)
     : id_(id),
       engine_([&] {
         if (!engine) throw std::invalid_argument("EventSession: null engine");
@@ -19,12 +19,28 @@ EventSession::EventSession(EventId id,
       alert_(alert),
       max_pending_(max_pending),
       policy_(policy),
-      assim_(engine_->engine().start()) {
+      journal_(journal),
+      open_ns_(obs::monotonic_ns()),
+      assim_(engine_->engine().start()),
+      last_publish_ns_(open_ns_) {
   if (max_pending_ == 0)
     throw std::invalid_argument("EventSession: max_pending == 0");
   // Publish the prior as the initial snapshot so latest_forecast is
   // meaningful before the first observation lands.
   latest_forecast_ = assim_.forecast();
+  journal_mark(JournalKind::kOpen, 0);
+}
+
+void EventSession::journal_mark(JournalKind kind, std::uint64_t tick,
+                                std::int64_t duration_ns) {
+  if (journal_ == nullptr) return;
+  JournalRecord r;
+  r.event = id_;
+  r.kind = kind;
+  r.tick = tick;
+  r.t_ns = obs::monotonic_ns();
+  r.total_ns = duration_ns;
+  journal_->append(r);
 }
 
 bool EventSession::submit(std::size_t tick, std::span<const double> d_block,
@@ -47,6 +63,7 @@ bool EventSession::submit(std::size_t tick, std::span<const double> d_block,
   if (tick != next_expected_ && pending_.size() >= max_pending_) {
     if (policy_ == BackpressurePolicy::kReject) {
       telemetry.on_rejected();
+      journal_mark(JournalKind::kBackpressureReject, tick);
       throw ServiceOverloaded("EventSession::submit: ingest queue full");
     }
     // The bypass must be re-evaluated inside the wait: the workers can
@@ -54,22 +71,32 @@ bool EventSession::submit(std::size_t tick, std::span<const double> d_block,
     // point this block is the only one that can unblock the session and
     // waiting for queue space (which can't free without it) would deadlock.
     // take_runnable_locked notifies space_cv_ on every advance.
+    telemetry.on_blocked();
+    const std::int64_t wait_begin = obs::monotonic_ns();
     space_cv_.wait(lock, [&] {
       return closing_ || tick == next_expected_ ||
              pending_.size() < max_pending_;
     });
+    journal_mark(JournalKind::kBackpressureBlock, tick,
+                 obs::monotonic_ns() - wait_begin);
     if (closing_)
       throw std::logic_error("EventSession::submit: event is closed");
     if (tick < next_expected_ || pending_.count(tick))
       throw std::invalid_argument("EventSession::submit: duplicate tick");
   }
-  pending_.emplace(tick, std::vector<double>(d_block.begin(), d_block.end()));
+  pending_.emplace(
+      tick, Pending{std::vector<double>(d_block.begin(), d_block.end()),
+                    obs::monotonic_ns()});
 
   // Schedule iff in-order work just became available and no worker owns the
   // session: exactly one producer wins the flag, so at most one worker ever
   // drains a session at a time (the ordering + determinism invariant).
   const bool runnable =
       !pending_.empty() && pending_.begin()->first == next_expected_;
+  if (!runnable)
+    // The new block is ahead of a gap at next_expected_ — the tick the
+    // session is stalled waiting for.
+    journal_mark(JournalKind::kReorderStall, next_expected_);
   if (runnable && !scheduled_) {
     scheduled_ = true;
     return true;
@@ -81,7 +108,8 @@ void EventSession::take_runnable_locked(std::vector<Block>& batch) {
   batch.clear();
   while (!pending_.empty() && pending_.begin()->first == next_expected_) {
     auto node = pending_.extract(pending_.begin());
-    batch.push_back(Block{node.key(), std::move(node.mapped())});
+    batch.push_back(Block{node.key(), std::move(node.mapped().data),
+                          node.mapped().enqueue_ns});
     ++next_expected_;
   }
   if (!batch.empty()) space_cv_.notify_all();
@@ -102,7 +130,8 @@ bool EventSession::take_one_runnable(Block& out) {
     return false;
   auto node = pending_.extract(pending_.begin());
   out.tick = node.key();
-  out.data = std::move(node.mapped());
+  out.data = std::move(node.mapped().data);
+  out.enqueue_ns = node.mapped().enqueue_ns;
   ++next_expected_;
   space_cv_.notify_all();
   return true;
@@ -143,12 +172,20 @@ void EventSession::drain_for(ServiceTelemetry& telemetry) {
 
 void EventSession::assimilate(const Block& block,
                               ServiceTelemetry& telemetry) {
+  begin_push_ctx(block.tick, block.enqueue_ns);
   assim_.push(block.tick, block.data);
   publish_after_push(telemetry);
 }
 
+void EventSession::begin_push_ctx(std::size_t tick, std::int64_t enqueue_ns) {
+  push_tick_ = tick;
+  push_enqueue_ns_ = enqueue_ns;
+  push_start_ns_ = obs::monotonic_ns();
+}
+
 void EventSession::publish_after_push(ServiceTelemetry& telemetry) {
   TRACE_SCOPE("service", "publish");
+  const std::int64_t publish_begin = obs::monotonic_ns();
   telemetry.on_push(assim_.last_push_seconds());
 
   assim_.forecast_into(staging_forecast_);
@@ -161,15 +198,59 @@ void EventSession::publish_after_push(ServiceTelemetry& telemetry) {
     latch = above_threshold_streak_ >= alert_.debounce_ticks;
   }
 
-  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  ticks_assimilated_ = assim_.ticks_received();
-  if (latch) {
-    alert_latched_ = true;
-    alert_tick_ = ticks_assimilated_;
+  std::size_t latched_at = 0;
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    ticks_assimilated_ = assim_.ticks_received();
+    if (latch) {
+      alert_latched_ = true;
+      alert_tick_ = ticks_assimilated_;
+      latched_at = ticks_assimilated_;
+    }
+    // Swap, don't move: the retired snapshot's buffers become next tick's
+    // staging capacity, so publishing is allocation-free in steady state.
+    std::swap(latest_forecast_, staging_forecast_);
   }
-  // Swap, don't move: the retired snapshot's buffers become next tick's
-  // staging capacity, so publishing is allocation-free in steady state.
-  std::swap(latest_forecast_, staging_forecast_);
+
+  const std::int64_t t_end = obs::monotonic_ns();
+  // mo: relaxed — staleness gauge timestamp; scrape readers tolerate any
+  // staleness, and the value is a single self-contained int64.
+  last_publish_ns_.store(t_end, std::memory_order_relaxed);
+
+  // Journal + SLO samples, outside the snapshot lock (journal appends are
+  // lock-free, histogram records are wait-free).
+  if (!first_publish_done_) {
+    first_publish_done_ = true;
+    telemetry.on_first_forecast(static_cast<double>(t_end - open_ns_) * 1e-9);
+  }
+  if (latch) {
+    // Lead time: how much of the event timeline (in data time) was still
+    // ahead when the alert latched.
+    const StreamingEngine& eng = engine_->engine();
+    const double dt = engine_->twin().config().observation_dt;
+    const double lead =
+        static_cast<double>(eng.num_ticks() - latched_at) * dt;
+    telemetry.on_alert_lead(lead);
+    journal_mark(JournalKind::kAlertLatch, latched_at);
+  }
+  if (journal_ != nullptr) {
+    JournalRecord r;
+    r.event = id_;
+    r.kind = assim_.ticks_received() == 1 ? JournalKind::kFirstTick
+                                          : JournalKind::kPush;
+    r.tick = push_tick_;
+    r.t_ns = t_end;
+    // The budget decomposition: queue wait (enqueue -> drain pop / fused
+    // push start), the push itself (the assimilator's own stopwatch — an
+    // INDEPENDENT measurement, which is what makes the sum-vs-total check
+    // in tests meaningful), and the publish tail measured here.
+    r.queue_wait_ns = push_start_ns_ - push_enqueue_ns_;
+    r.push_ns =
+        static_cast<std::int64_t>(assim_.last_push_seconds() * 1e9);
+    r.publish_ns = t_end - publish_begin;
+    r.total_ns = t_end - push_enqueue_ns_;
+    journal_->append(r);
+  }
 }
 
 void EventSession::begin_close() {
@@ -181,6 +262,13 @@ void EventSession::begin_close() {
 void EventSession::wait_idle() {
   std::unique_lock<std::mutex> lock(state_mutex_);
   idle_cv_.wait(lock, [&] { return !scheduled_; });
+}
+
+double EventSession::staleness_seconds() const {
+  // mo: relaxed — reading the publish timestamp for a monitoring gauge; a
+  // stale read only overstates staleness by one publish.
+  const std::int64_t last = last_publish_ns_.load(std::memory_order_relaxed);
+  return static_cast<double>(obs::monotonic_ns() - last) * 1e-9;
 }
 
 EventSnapshot EventSession::snapshot() const {

@@ -19,7 +19,11 @@
 //   * a debounced ALERT latch (peak forecast mean above threshold for K
 //     consecutive ticks, the examples' warning-center rule);
 //   * a mutex-guarded SNAPSHOT of the latest forecast + alert state, so
-//     operator dashboards read without touching assimilator internals.
+//     operator dashboards read without touching assimilator internals;
+//   * an optional lifecycle JOURNAL (EventJournal, owned by the service):
+//     every block is stamped at enqueue, and each publish emits a record
+//     decomposing enqueue->published into queue-wait / push / publish, plus
+//     records for reorder stalls, backpressure, alert latch, and close.
 //
 // Threading contract: any number of producer threads may call submit();
 // at most one drain job at a time owns the session (enforced by the
@@ -27,6 +31,7 @@
 // cross-event batcher's try_schedule()); snapshot()/wait_idle() are safe
 // from anywhere.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -39,6 +44,7 @@
 
 #include "core/forecast.hpp"
 #include "service/engine_cache.hpp"
+#include "service/event_journal.hpp"
 #include "service/service_telemetry.hpp"
 
 namespace tsunami {
@@ -80,9 +86,11 @@ struct EventSnapshot {
 
 class EventSession {
  public:
+  /// `journal` is optional (may be null) and must outlive the session; the
+  /// WarningService passes its own. Constructing a session emits kOpen.
   EventSession(EventId id, std::shared_ptr<const CachedEngine> engine,
                const AlertPolicy& alert, std::size_t max_pending,
-               BackpressurePolicy policy);
+               BackpressurePolicy policy, EventJournal* journal = nullptr);
 
   EventSession(const EventSession&) = delete;
   EventSession& operator=(const EventSession&) = delete;
@@ -113,6 +121,10 @@ class EventSession {
 
   [[nodiscard]] EventSnapshot snapshot() const;
 
+  /// Seconds since this session last published a forecast (since open if it
+  /// never has). The per-session staleness gauge of the /metrics export.
+  [[nodiscard]] double staleness_seconds() const;
+
   [[nodiscard]] EventId id() const { return id_; }
   [[nodiscard]] const CachedEngine& cached_engine() const { return *engine_; }
 
@@ -125,6 +137,15 @@ class EventSession {
   struct Block {
     std::size_t tick;
     std::vector<double> data;
+    std::int64_t enqueue_ns;  ///< obs::monotonic_ns() when submit buffered it
+  };
+
+  /// Buffered-but-not-yet-runnable block (the map value of pending_): the
+  /// payload plus its enqueue stamp, carried so the eventual publish can
+  /// attribute queue-wait time to THIS block, however long it sat.
+  struct Pending {
+    std::vector<double> data;
+    std::int64_t enqueue_ns;
   };
 
   /// Move the runnable prefix (consecutive ticks from next_expected_) out
@@ -151,10 +172,22 @@ class EventSession {
   /// alert latch. Called by the owning worker only (no state_mutex_).
   void assimilate(const Block& block, ServiceTelemetry& telemetry);
 
+  /// Arm the latency-budget context for the block about to be pushed: marks
+  /// the push start (= end of the block's queue wait) and remembers its tick
+  /// and enqueue stamp for the journal record publish_after_push emits.
+  /// Owner only; the batched path calls it just before push_many.
+  void begin_push_ctx(std::size_t tick, std::int64_t enqueue_ns);
+
   /// The publish half of assimilate(): telemetry sample, rolling forecast,
-  /// alert latch, snapshot swap — for blocks whose push already happened
-  /// (the batched cross-event path). Owner only.
+  /// alert latch, snapshot swap, journal record — for blocks whose push
+  /// already happened (the batched cross-event path). Owner only; requires
+  /// a preceding begin_push_ctx for this block.
   void publish_after_push(ServiceTelemetry& telemetry);
+
+  /// Append a non-budget lifecycle record (open/stall/backpressure/close)
+  /// if a journal is attached. Any thread; lock- and allocation-free.
+  void journal_mark(JournalKind kind, std::uint64_t tick,
+                    std::int64_t duration_ns = 0);
 
   [[nodiscard]] StreamingAssimilator& assimilator() { return assim_; }
 
@@ -163,6 +196,8 @@ class EventSession {
   const AlertPolicy alert_;
   const std::size_t max_pending_;
   const BackpressurePolicy policy_;
+  EventJournal* const journal_;     ///< nullable; owned by the service
+  const std::int64_t open_ns_;      ///< obs::monotonic_ns() at construction
 
   // Assimilator + alert streak + forecast staging: touched only by the
   // owning worker (one at a time, enforced by the scheduled_ handoff). The
@@ -172,6 +207,12 @@ class EventSession {
   StreamingAssimilator assim_;
   std::size_t above_threshold_streak_ = 0;
   Forecast staging_forecast_;
+  // Latency-budget context for the in-flight block (owner-only, like
+  // assim_): armed by begin_push_ctx, consumed by publish_after_push.
+  std::size_t push_tick_ = 0;
+  std::int64_t push_enqueue_ns_ = 0;
+  std::int64_t push_start_ns_ = 0;
+  bool first_publish_done_ = false;
   /// drain_for's batch scratch: owner-only (like assim_), grows to the
   /// largest runnable prefix ever drained and is then reused.
   std::vector<Block> drain_batch_;
@@ -180,7 +221,7 @@ class EventSession {
   mutable std::mutex state_mutex_;
   std::condition_variable space_cv_;  ///< backpressure waiters
   std::condition_variable idle_cv_;   ///< wait_idle waiters
-  std::map<std::size_t, std::vector<double>> pending_;  ///< tick -> block
+  std::map<std::size_t, Pending> pending_;  ///< tick -> stamped block
   std::size_t next_expected_ = 0;  ///< next tick the assimilator must see
   bool scheduled_ = false;         ///< a worker owns (or is queued for) this
   bool closing_ = false;
@@ -192,6 +233,10 @@ class EventSession {
   bool alert_latched_ = false;
   std::size_t alert_tick_ = 0;
   Forecast latest_forecast_;
+
+  /// When the latest forecast was published (open time before any publish),
+  /// read lock-free by staleness_seconds() from scrape threads.
+  std::atomic<std::int64_t> last_publish_ns_;
 };
 
 }  // namespace tsunami

@@ -27,6 +27,7 @@ TelemetrySnapshot ServiceTelemetry::snapshot() const {
   // mo: relaxed — same monitoring-read contract as above.
   s.ticks_assimilated = ticks_assimilated_.load(relaxed);
   s.ticks_rejected = ticks_rejected_.load(relaxed);
+  s.ticks_blocked = ticks_blocked_.load(relaxed);
   s.wall_seconds = since_start_.seconds();
   s.ticks_per_second =
       s.wall_seconds > 0.0
@@ -39,6 +40,8 @@ TelemetrySnapshot ServiceTelemetry::snapshot() const {
   s.push_latency.p50 = s.push_histogram.percentile(50.0);
   s.push_latency.p95 = s.push_histogram.percentile(95.0);
   s.push_latency.p99 = s.push_histogram.percentile(99.0);
+  s.time_to_first_forecast = ttff_.snapshot();
+  s.alert_lead_time = alert_lead_.snapshot();
   return s;
 }
 
@@ -64,9 +67,19 @@ void ServiceTelemetry::collect_into(obs::MetricsSnapshot& snapshot) const {
   snapshot.counter("tsunami_service_ticks_rejected_total",
                    static_cast<double>(ticks_rejected_.load(relaxed)), {},
                    "Ticks rejected by backpressure");
+  // mo: relaxed — same scrape-time contract as above.
+  snapshot.counter("tsunami_service_ticks_blocked_total",
+                   static_cast<double>(ticks_blocked_.load(relaxed)), {},
+                   "Submit calls that stalled on kBlock backpressure");
   snapshot.histogram("tsunami_service_push_latency_seconds",
                      push_latency_.snapshot(), {},
                      "Per-tick assimilation latency (lifetime)");
+  snapshot.histogram("tsunami_slo_time_to_first_forecast_seconds",
+                     ttff_.snapshot(), {},
+                     "SLO: open_event to first published forecast");
+  snapshot.histogram("tsunami_slo_alert_lead_time_seconds",
+                     alert_lead_.snapshot(), {},
+                     "SLO: event-timeline horizon remaining at alert latch");
 }
 
 std::string TelemetrySnapshot::str() const {
@@ -74,12 +87,14 @@ std::string TelemetrySnapshot::str() const {
   std::snprintf(
       buf, sizeof(buf),
       "events %llu in flight (%llu opened, %llu closed) | %llu ticks "
-      "(%.0f/s aggregate, %llu rejected) | push p50 %s p95 %s p99 %s max %s",
+      "(%.0f/s aggregate, %llu rejected, %llu blocked) | push p50 %s p95 %s "
+      "p99 %s max %s",
       static_cast<unsigned long long>(events_in_flight),
       static_cast<unsigned long long>(events_opened),
       static_cast<unsigned long long>(events_closed),
       static_cast<unsigned long long>(ticks_assimilated), ticks_per_second,
       static_cast<unsigned long long>(ticks_rejected),
+      static_cast<unsigned long long>(ticks_blocked),
       format_duration(push_latency.p50).c_str(),
       format_duration(push_latency.p95).c_str(),
       format_duration(push_latency.p99).c_str(),

@@ -32,6 +32,7 @@ struct TelemetrySnapshot {
   std::uint64_t events_in_flight = 0;  ///< opened - closed
   std::uint64_t ticks_assimilated = 0;
   std::uint64_t ticks_rejected = 0;  ///< backpressure rejections (kReject)
+  std::uint64_t ticks_blocked = 0;   ///< backpressure stalls (kBlock)
   double wall_seconds = 0.0;         ///< since service start
   /// Aggregate assimilation rate over the service lifetime. The per-window
   /// rate a load test wants is (delta ticks) / (delta wall) between two
@@ -43,6 +44,12 @@ struct TelemetrySnapshot {
   /// The underlying mergeable histogram — combine shards or repeated runs
   /// with .merge(), re-derive any quantile with .percentile().
   obs::HistogramSnapshot push_histogram;
+  /// SLO: seconds from open_event to the first published forecast, one
+  /// sample per event that ever published.
+  obs::HistogramSnapshot time_to_first_forecast;
+  /// SLO: forecast horizon remaining when the alert latched — how much
+  /// warning time the event timeline had left, (nt - alert_tick) * dt.
+  obs::HistogramSnapshot alert_lead_time;
 
   /// One-line operator summary ("events 12 | 3.4k ticks/s | p99 180 us").
   [[nodiscard]] std::string str() const;
@@ -58,9 +65,19 @@ class ServiceTelemetry {
   void on_event_opened() { events_opened_.fetch_add(1, relaxed); }
   void on_event_closed() { events_closed_.fetch_add(1, relaxed); }
   void on_rejected() { ticks_rejected_.fetch_add(1, relaxed); }
+  // mo: relaxed — same independent-counter contract as above.
+  void on_blocked() { ticks_blocked_.fetch_add(1, relaxed); }
 
   /// Record one assimilated tick and its push latency.
   void on_push(double seconds);
+
+  /// SLO sample: seconds from open_event to this event's first published
+  /// forecast. Called at most once per event, by the publishing worker.
+  void on_first_forecast(double seconds) { ttff_.record(seconds); }
+
+  /// SLO sample: forecast horizon remaining (seconds of event timeline)
+  /// when the alert latched.
+  void on_alert_lead(double seconds) { alert_lead_.record(seconds); }
 
   [[nodiscard]] TelemetrySnapshot snapshot() const;
 
@@ -75,8 +92,11 @@ class ServiceTelemetry {
   std::atomic<std::uint64_t> events_closed_{0};
   std::atomic<std::uint64_t> ticks_assimilated_{0};
   std::atomic<std::uint64_t> ticks_rejected_{0};
+  std::atomic<std::uint64_t> ticks_blocked_{0};
   Stopwatch since_start_;
   obs::Histogram push_latency_;  ///< seconds; wait-free multi-writer
+  obs::Histogram ttff_;          ///< seconds, open -> first forecast
+  obs::Histogram alert_lead_;    ///< seconds of horizon left at alert latch
 };
 
 }  // namespace tsunami

@@ -1,8 +1,10 @@
 #include "service/warning_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -12,7 +14,7 @@
 namespace tsunami {
 
 WarningService::WarningService(const ServiceOptions& options)
-    : options_(options) {
+    : options_(options), journal_(options.journal_capacity) {
   if (options_.num_workers == 0)
     throw std::invalid_argument("WarningService: num_workers == 0");
   if (options_.max_pending_per_event == 0)
@@ -49,7 +51,7 @@ EventId WarningService::open_event(std::shared_ptr<const CachedEngine> engine,
   }
   auto session = std::make_shared<EventSession>(
       id, std::move(engine), alert, options_.max_pending_per_event,
-      options_.backpressure);
+      options_.backpressure, &journal_);
   {
     const std::lock_guard<std::mutex> lock(sessions_mutex_);
     sessions_.emplace(id, std::move(session));
@@ -84,7 +86,9 @@ EventSnapshot WarningService::close_event(EventId id) {
   s->begin_close();
   s->wait_idle();
   telemetry_.on_event_closed();
-  return s->snapshot();
+  EventSnapshot final_state = s->snapshot();
+  s->journal_mark(JournalKind::kClose, final_state.ticks_assimilated);
+  return final_state;
 }
 
 void WarningService::drain() {
@@ -100,6 +104,74 @@ void WarningService::drain() {
 std::size_t WarningService::events_in_flight() const {
   const std::lock_guard<std::mutex> lock(sessions_mutex_);
   return sessions_.size();
+}
+
+void WarningService::collect_metrics(obs::MetricsSnapshot& snapshot) const {
+  telemetry_.collect_into(snapshot);
+  snapshot.counter("tsunami_service_journal_records_total",
+                   static_cast<double>(journal_.appended()), {},
+                   "Lifecycle journal records ever appended");
+  snapshot.counter("tsunami_service_journal_dropped_total",
+                   static_cast<double>(journal_.dropped()), {},
+                   "Journal records overwritten by ring wrap");
+  // Per-session staleness is computed at scrape time from each session's
+  // last-publish stamp — nothing is registered per event, so the metric
+  // surface stays bounded by the live session count.
+  std::vector<std::shared_ptr<EventSession>> open;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    open.reserve(sessions_.size());
+    for (const auto& [_, s] : sessions_) open.push_back(s);
+  }
+  for (const auto& s : open)
+    snapshot.gauge("tsunami_service_forecast_staleness_seconds",
+                   s->staleness_seconds(),
+                   {{"event", std::to_string(s->id())}},
+                   "Seconds since this event last published a forecast");
+}
+
+std::string WarningService::events_json() const {
+  std::vector<std::shared_ptr<EventSession>> open;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    open.reserve(sessions_.size());
+    for (const auto& [_, s] : sessions_) open.push_back(s);
+  }
+  const std::vector<JournalRecord> records = journal_.snapshot();
+
+  std::string out = "{\"events\":[";
+  bool first_event = true;
+  for (const auto& s : open) {
+    const EventSnapshot snap = s->snapshot();
+    if (!first_event) out += ',';
+    first_event = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":%llu,\"ticks\":%zu,\"pending\":%zu,"
+                  "\"complete\":%s,\"alert\":%s,\"alert_tick\":%zu,"
+                  "\"staleness_seconds\":%.6f,\"journal\":[",
+                  static_cast<unsigned long long>(snap.id),
+                  snap.ticks_assimilated, snap.ticks_pending,
+                  snap.complete ? "true" : "false",
+                  snap.alert ? "true" : "false", snap.alert_tick,
+                  s->staleness_seconds());
+    out += buf;
+    bool first_record = true;
+    for (const JournalRecord& r : records) {
+      if (r.event != snap.id) continue;
+      if (!first_record) out += ',';
+      first_record = false;
+      EventJournal::append_record_json(out, r);
+    }
+    out += "]}";
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                "],\"journal_appended\":%llu,\"journal_dropped\":%llu}",
+                static_cast<unsigned long long>(journal_.appended()),
+                static_cast<unsigned long long>(journal_.dropped()));
+  out += tail;
+  return out;
 }
 
 std::shared_ptr<EventSession> WarningService::session(EventId id) const {
@@ -194,6 +266,9 @@ void WarningService::drain_batched(std::shared_ptr<EventSession> leader) {
       group_events.clear();
       group_blocks.clear();
       for (const std::size_t i : idxs) {
+        // Arm each session's latency-budget context now: the fused sweep is
+        // where every block's queue wait ends and its push begins.
+        active[i]->begin_push_ctx(tick, blocks[i].enqueue_ns);
         group_events.push_back(&active[i]->assimilator());
         group_blocks.push_back(blocks[i].data);
       }

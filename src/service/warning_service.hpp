@@ -68,6 +68,9 @@ struct ServiceOptions {
   bool cross_event_batching = true;
   /// Most sessions fused into one batched sweep (>= 1; 1 disables fusion).
   std::size_t max_batch_events = 16;
+  /// Retained records in the service-wide lifecycle journal (EventJournal;
+  /// oldest overwritten first). Appends are wait-free from drain workers.
+  std::size_t journal_capacity = 1 << 16;
 };
 
 class WarningService {
@@ -110,11 +113,20 @@ class WarningService {
   [[nodiscard]] TelemetrySnapshot telemetry() const {
     return telemetry_.snapshot();
   }
-  /// Contribute the service's metric series (tsunami_service_*) to an
-  /// export snapshot; render with obs::prometheus_text / obs::json_text.
-  void collect_metrics(obs::MetricsSnapshot& snapshot) const {
-    telemetry_.collect_into(snapshot);
-  }
+  /// Contribute the service's metric series to an export snapshot; render
+  /// with obs::prometheus_text / obs::json_text. Beyond the telemetry
+  /// counters and SLO histograms (tsunami_service_* / tsunami_slo_*) this
+  /// adds a per-live-session tsunami_service_forecast_staleness_seconds
+  /// gauge (labelled by event id, computed at scrape time) and the journal
+  /// record/drop counters.
+  void collect_metrics(obs::MetricsSnapshot& snapshot) const;
+  /// The service-wide lifecycle journal (export with journal().json_lines()).
+  [[nodiscard]] const EventJournal& journal() const { return journal_; }
+  /// Live per-event state as one JSON object — the /events introspection
+  /// route: {"events":[{id, ticks, pending, complete, alert, alert_tick,
+  /// staleness_seconds, journal:[...]}, ...], "journal_appended": N,
+  /// "journal_dropped": M}. Each event's journal rows are inlined.
+  [[nodiscard]] std::string events_json() const;
   [[nodiscard]] std::size_t events_in_flight() const;
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
@@ -133,6 +145,7 @@ class WarningService {
 
   ServiceOptions options_;
   ServiceTelemetry telemetry_;
+  EventJournal journal_;  ///< shared by every session; outlives them all
 
   // Lock order: sessions_mutex_ before any session's internal lock;
   // queue_mutex_ is a leaf (never held while calling into sessions).

@@ -282,6 +282,57 @@ TEST_F(SteadyStateTest, EventSessionPublishIsAllocFree) {
   EXPECT_EQ(session.snapshot().ticks_assimilated, 3u);
 }
 
+// The lifecycle journal's append is the piece of the observability layer
+// that runs ON the drain hot path, so it carries the strongest contract:
+// zero allocations AND zero locks — first proven on the raw ring, then on
+// the full drain+publish path with a journal attached (the configuration
+// every WarningService session actually runs).
+TEST_F(SteadyStateTest, JournalAppendIsAllocAndLockFree) {
+  SKIP_WITHOUT_CHECKS();
+  EventJournal journal(256);
+  JournalRecord r;
+  r.event = 7;
+  r.kind = JournalKind::kPush;
+  journal.append(r);  // nothing to warm, but keep the shape uniform
+  std::uint64_t allocs = 0, locks = 0;
+  {
+    const ScopedNoAlloc no_alloc;
+    const ScopedNoLock no_lock;
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      r.tick = i;
+      journal.append(r);  // wraps twice: the wrap path must stay clean too
+    }
+    allocs = no_alloc.allocations();
+    locks = no_lock.locks();
+  }
+  EXPECT_EQ(allocs, 0u) << "journal append allocated";
+  EXPECT_EQ(locks, 0u) << "journal append took a lock";
+  EXPECT_EQ(journal.appended(), 513u);
+  EXPECT_EQ(journal.dropped(), 513u - 256u);
+}
+
+TEST_F(SteadyStateTest, EventSessionDrainWithJournalIsAllocFree) {
+  SKIP_WITHOUT_CHECKS();
+  ServiceTelemetry telemetry;
+  EventJournal journal;
+  EventSession session(1, *cached_, AlertPolicy{}, 64,
+                       BackpressurePolicy::kBlock, &journal);
+  for (std::size_t t = 0; t < 2; ++t) {
+    ASSERT_TRUE(session.submit(t, block(t), telemetry));
+    session.drain_for(telemetry);
+  }
+  std::uint64_t allocs = 0;
+  ASSERT_TRUE(session.submit(2, block(2), telemetry));
+  {
+    const ScopedNoAlloc no_alloc;
+    session.drain_for(telemetry);
+    allocs = no_alloc.allocations();
+  }
+  EXPECT_EQ(allocs, 0u) << "journaled drain+publish allocated";
+  // The journal really was written to on the guarded path.
+  EXPECT_GE(journal.appended(), 4u);  // open + 3 push records
+}
+
 // The full WarningService drain cycle cannot be allocation-FREE (each submit
 // buffers a block; each pump posts a pool job), but it must be allocation-
 // FLAT: a small constant number of allocations per tick, independent of

@@ -493,6 +493,252 @@ TEST_F(ServiceTest, OpenCloseSubmitFuzzHasNoCrossEventLeakage) {
   EXPECT_EQ(service.events_in_flight(), 0u);
 }
 
+// ---- lifecycle journal ------------------------------------------------------
+//
+// The journal's contract: every event's records reconstruct its complete
+// open -> first_tick -> push* -> alert_latch -> close timeline in timestamp
+// order, per-event push ticks are strictly ascending even under the
+// cross-event batcher, and each push record's decomposed latency budget
+// (queue_wait + push + publish) accounts for its end-to-end total.
+
+namespace journal_util {
+
+/// The records of one event, in the journal's (timestamp-sorted) order.
+inline std::vector<JournalRecord> for_event(const EventJournal& journal,
+                                            EventId id) {
+  std::vector<JournalRecord> out;
+  for (const JournalRecord& r : journal.snapshot())
+    if (r.event == id) out.push_back(r);
+  return out;
+}
+
+inline std::size_t count_kind(const std::vector<JournalRecord>& rs,
+                              JournalKind k) {
+  std::size_t n = 0;
+  for (const auto& r : rs) n += r.kind == k ? 1u : 0u;
+  return n;
+}
+
+}  // namespace journal_util
+
+TEST_F(ServiceTest, JournalReconstructsCompleteLifecycle) {
+  const std::vector<double> d = make_obs(23);
+
+  // Alert policy at half the final peak (as in DebouncedAlertMatchesSerial):
+  // guarantees a latch partway through the window.
+  double peak_final = 0.0;
+  for (double v : replay(d).forecast().mean)
+    peak_final = std::max(peak_final, v);
+
+  WarningService service({.num_workers = 2});
+  const EventId id = service.open_event(
+      *cached_, {.threshold = 0.5 * peak_final, .debounce_ticks = 2});
+  // One out-of-order pair (1 before 0) to force a reorder-stall record.
+  service.submit(id, 1, block(d, 1));
+  service.submit(id, 0, block(d, 0));
+  for (std::size_t t = 2; t < nt(); ++t) service.submit(id, t, block(d, t));
+  service.drain();
+  const EventSnapshot final_state = service.close_event(id);
+  ASSERT_TRUE(final_state.complete);
+  ASSERT_TRUE(final_state.alert);
+
+  const auto rs = journal_util::for_event(service.journal(), id);
+  ASSERT_FALSE(rs.empty());
+  // Timeline boundaries: opens first, closes last, timestamps sorted.
+  EXPECT_EQ(rs.front().kind, JournalKind::kOpen);
+  EXPECT_EQ(rs.back().kind, JournalKind::kClose);
+  EXPECT_EQ(rs.back().tick, nt());
+  for (std::size_t i = 1; i < rs.size(); ++i)
+    EXPECT_LE(rs[i - 1].t_ns, rs[i].t_ns);
+  // Exactly one first_tick, then nt()-1 plain pushes; ticks 0..nt-1 strictly
+  // ascending across the push records.
+  EXPECT_EQ(journal_util::count_kind(rs, JournalKind::kFirstTick), 1u);
+  EXPECT_EQ(journal_util::count_kind(rs, JournalKind::kPush), nt() - 1);
+  EXPECT_GE(journal_util::count_kind(rs, JournalKind::kReorderStall), 1u);
+  std::vector<std::uint64_t> push_ticks;
+  for (const auto& r : rs)
+    if (r.kind == JournalKind::kFirstTick || r.kind == JournalKind::kPush)
+      push_ticks.push_back(r.tick);
+  ASSERT_EQ(push_ticks.size(), nt());
+  for (std::size_t t = 0; t < nt(); ++t) EXPECT_EQ(push_ticks[t], t);
+  // The alert latch row matches the snapshot's latch tick.
+  const auto latches = journal_util::count_kind(rs, JournalKind::kAlertLatch);
+  ASSERT_EQ(latches, 1u);
+  for (const auto& r : rs) {
+    if (r.kind == JournalKind::kAlertLatch) {
+      EXPECT_EQ(r.tick, final_state.alert_tick);
+    }
+  }
+
+  // Latency budget: every stage non-negative, and queue_wait + push +
+  // publish accounts for the end-to-end total. push_ns is the assimilator's
+  // OWN stopwatch (an independent measurement), so the sum is bounded by
+  // total plus measurement slack rather than trivially equal; the residual
+  // (unattributed overhead between clock reads) must stay small in the
+  // aggregate even if one record gets preempted mid-measurement.
+  std::int64_t sum_total = 0, sum_parts = 0;
+  for (const auto& r : rs) {
+    if (r.kind != JournalKind::kFirstTick && r.kind != JournalKind::kPush)
+      continue;
+    EXPECT_GE(r.queue_wait_ns, 0) << "tick " << r.tick;
+    EXPECT_GE(r.push_ns, 0) << "tick " << r.tick;
+    EXPECT_GE(r.publish_ns, 0) << "tick " << r.tick;
+    EXPECT_GT(r.total_ns, 0) << "tick " << r.tick;
+    const std::int64_t parts = r.queue_wait_ns + r.push_ns + r.publish_ns;
+    // Stages nest inside [enqueue, publish-end]: the sum can exceed the
+    // total only by the push stopwatch's own read granularity.
+    EXPECT_LE(parts, r.total_ns + 50'000) << "tick " << r.tick;
+    sum_total += r.total_ns;
+    sum_parts += parts;
+  }
+  // Aggregate attribution: >= 80% of end-to-end time is accounted to a
+  // stage (the histogram-bucket-error tolerance of the acceptance bar is
+  // 1/32; 20% absorbs scheduler noise on loaded CI machines).
+  EXPECT_GE(static_cast<double>(sum_parts),
+            0.8 * static_cast<double>(sum_total));
+}
+
+TEST_F(ServiceTest, JournalPushOrderStrictUnderCrossEventBatcher) {
+  // Same adversarial arrival pattern as the batched bit-identity test: the
+  // journal must nevertheless record every event's pushes in strict tick
+  // order (the batcher fuses sweeps, it never reorders within an event).
+  constexpr unsigned kEvents = 8;
+  std::vector<std::vector<double>> obs;
+  for (unsigned e = 0; e < kEvents; ++e) obs.push_back(make_obs(400 + e));
+
+  WarningService service({.num_workers = 2,
+                          .max_pending_per_event = 8,
+                          .cross_event_batching = true,
+                          .max_batch_events = kEvents});
+  std::vector<EventId> ids;
+  for (unsigned e = 0; e < kEvents; ++e)
+    ids.push_back(service.open_event(*cached_));
+
+  std::size_t t = 0;
+  for (; t + 1 < nt(); t += 2) {
+    for (unsigned k = 0; k < kEvents; ++k) {
+      const unsigned e = (k + static_cast<unsigned>(t)) % kEvents;
+      service.submit(ids[e], t + 1, block(obs[e], t + 1));
+      service.submit(ids[e], t, block(obs[e], t));
+    }
+  }
+  for (; t < nt(); ++t)
+    for (unsigned e = 0; e < kEvents; ++e)
+      service.submit(ids[e], t, block(obs[e], t));
+  service.drain();
+
+  for (unsigned e = 0; e < kEvents; ++e) {
+    const auto rs = journal_util::for_event(service.journal(), ids[e]);
+    std::vector<std::uint64_t> push_ticks;
+    for (const auto& r : rs)
+      if (r.kind == JournalKind::kFirstTick || r.kind == JournalKind::kPush)
+        push_ticks.push_back(r.tick);
+    ASSERT_EQ(push_ticks.size(), nt()) << "event " << e;
+    for (std::size_t i = 0; i < push_ticks.size(); ++i)
+      EXPECT_EQ(push_ticks[i], i) << "event " << e;
+    (void)service.close_event(ids[e]);
+  }
+  EXPECT_EQ(service.journal().dropped(), 0u);
+}
+
+TEST_F(ServiceTest, JournalRecordsBackpressure) {
+  const std::vector<double> d = make_obs(29);
+  {
+    // kReject: the shed submit leaves a backpressure_reject record.
+    WarningService service({.num_workers = 1,
+                            .max_pending_per_event = 2,
+                            .backpressure = BackpressurePolicy::kReject});
+    const EventId id = service.open_event(*cached_);
+    service.submit(id, 4, block(d, 4));
+    service.submit(id, 3, block(d, 3));
+    EXPECT_THROW(service.submit(id, 2, block(d, 2)), ServiceOverloaded);
+    const auto rs = journal_util::for_event(service.journal(), id);
+    EXPECT_EQ(journal_util::count_kind(rs, JournalKind::kBackpressureReject),
+              1u);
+    EXPECT_GE(service.telemetry().ticks_rejected, 1u);
+  }
+  {
+    // kBlock: the stalled submit leaves a backpressure_block record whose
+    // total_ns is the measured wait, and the blocked counter moves.
+    WarningService service({.num_workers = 1,
+                            .max_pending_per_event = 2,
+                            .backpressure = BackpressurePolicy::kBlock});
+    const EventId id = service.open_event(*cached_);
+    service.submit(id, 3, block(d, 3));
+    service.submit(id, 4, block(d, 4));
+    std::thread producer([&] { service.submit(id, 1, block(d, 1)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    service.submit(id, 0, block(d, 0));
+    producer.join();
+    service.drain();
+    const auto rs = journal_util::for_event(service.journal(), id);
+    ASSERT_EQ(journal_util::count_kind(rs, JournalKind::kBackpressureBlock),
+              1u);
+    for (const auto& r : rs) {
+      if (r.kind == JournalKind::kBackpressureBlock) {
+        EXPECT_GT(r.total_ns, 0);
+      }
+    }
+    EXPECT_EQ(service.telemetry().ticks_blocked, 1u);
+  }
+}
+
+TEST_F(ServiceTest, SloInstrumentsExportAndValidate) {
+  const std::vector<double> d = make_obs(31);
+  double peak_final = 0.0;
+  for (double v : replay(d).forecast().mean)
+    peak_final = std::max(peak_final, v);
+
+  constexpr unsigned kEvents = 3;
+  WarningService service({.num_workers = 2});
+  std::vector<EventId> ids;
+  std::vector<std::vector<double>> obs;
+  for (unsigned e = 0; e < kEvents; ++e) {
+    obs.push_back(make_obs(600 + e));
+    ids.push_back(service.open_event(
+        *cached_, {.threshold = 0.5 * peak_final, .debounce_ticks = 2}));
+  }
+  for (std::size_t t = 0; t < nt(); ++t)
+    for (unsigned e = 0; e < kEvents; ++e)
+      service.submit(ids[e], t, block(obs[e], t));
+  service.drain();
+
+  // One time-to-first-forecast sample per event; alert-lead samples for the
+  // events that latched, each within (0, nt * dt].
+  const TelemetrySnapshot telem = service.telemetry();
+  EXPECT_EQ(telem.time_to_first_forecast.count, kEvents);
+  EXPECT_GT(telem.time_to_first_forecast.percentile(50.0), 0.0);
+  EXPECT_GE(telem.alert_lead_time.count, 1u);
+  const double dt = (*cached_)->twin().config().observation_dt;
+  EXPECT_LE(telem.alert_lead_time.max, static_cast<double>(nt()) * dt);
+  EXPECT_GT(telem.alert_lead_time.min, 0.0);
+  EXPECT_EQ(telem.ticks_blocked, 0u);
+
+  // The full scrape (telemetry + SLO histograms + staleness gauges +
+  // journal counters) renders as valid Prometheus exposition.
+  obs::MetricsSnapshot snap;
+  service.collect_metrics(snap);
+  const std::string text = obs::prometheus_text(snap);
+  EXPECT_EQ(obs::validate_prometheus(text), "");
+  EXPECT_NE(text.find("tsunami_slo_time_to_first_forecast_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsunami_slo_alert_lead_time_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsunami_service_ticks_blocked_total"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "tsunami_service_forecast_staleness_seconds{event=\"" +
+                std::to_string(ids[0]) + "\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("tsunami_service_journal_records_total"),
+            std::string::npos);
+
+  // Staleness is a freshly-computed gauge: after a publish it is small, and
+  // it grows between scrapes.
+  for (unsigned e = 0; e < kEvents; ++e)
+    (void)service.close_event(ids[e]);
+}
+
 // ServiceTelemetry's latency store is a lock-free histogram (wait-free
 // bucket fetch_adds). Hammer it from many threads (with a concurrent
 // snapshotter): under TSan this is the proof the multi-writer path is

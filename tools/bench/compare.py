@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports (bench/bench_util.hpp JsonReport schema).
+
+Matches cases by name between a baseline and a current report, prints the
+median delta per case with the p10/p90 spread of both runs, and flags
+regressions. A case REGRESSES when its median slowed down by more than
+--fail-above percent AND the runs' [p10, p90] intervals do not overlap —
+the overlap test keeps noisy quick-mode runs (TSUNAMI_BENCH_QUICK=1) from
+tripping the gate on jitter alone.
+
+Usage:
+    tools/bench/compare.py baseline.json current.json [--fail-above 10]
+
+Exit status: 0 when no case regresses past the threshold, 1 otherwise,
+2 on malformed input. CI archives every run's BENCH_*.json under a stable
+name (bench-history/BENCH_<bench>.<sha>.json) so any two points of the
+trajectory can be compared after the fact.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"compare: cannot read {path}: {e}")
+    cases = report.get("cases")
+    if not isinstance(cases, list):
+        sys.exit(f"compare: {path} has no 'cases' array")
+    out = {}
+    for case in cases:
+        name = case.get("name")
+        if not name or "median_ns" not in case:
+            sys.exit(f"compare: {path} case missing name/median_ns: {case}")
+        out[name] = case
+    return report, out
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def intervals_overlap(a, b):
+    """[p10, p90] interval overlap; missing percentiles count as overlap
+    (no spread information -> never escalate to a hard failure)."""
+    lo_a, hi_a = a.get("p10_ns"), a.get("p90_ns")
+    lo_b, hi_b = b.get("p10_ns"), b.get("p90_ns")
+    if None in (lo_a, hi_a, lo_b, hi_b):
+        return True
+    return lo_a <= hi_b and lo_b <= hi_a
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline BENCH_*.json")
+    ap.add_argument("current", help="current BENCH_*.json")
+    ap.add_argument(
+        "--fail-above",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="median slowdown percent that fails the gate when the "
+        "p10/p90 intervals also separate (default: 10)",
+    )
+    args = ap.parse_args()
+
+    base_report, base = load_cases(args.baseline)
+    curr_report, curr = load_cases(args.current)
+
+    if base_report.get("quick") != curr_report.get("quick"):
+        print("compare: WARNING: mixing quick and full runs; deltas are "
+              "indicative only", file=sys.stderr)
+
+    shared = [n for n in base if n in curr]
+    only_base = sorted(set(base) - set(curr))
+    only_curr = sorted(set(curr) - set(base))
+    if not shared:
+        sys.exit("compare: no case names in common")
+
+    width = max(len(n) for n in shared)
+    regressions = []
+    print(f"{'case':<{width}}  {'baseline':>10}  {'current':>10}  "
+          f"{'delta':>8}  spread")
+    for name in shared:
+        b, c = base[name], curr[name]
+        mb, mc = b["median_ns"], c["median_ns"]
+        delta_pct = (mc - mb) / mb * 100.0 if mb > 0 else 0.0
+        overlap = intervals_overlap(b, c)
+        slower = delta_pct > args.fail_above
+        flag = ""
+        if slower:
+            flag = " SLOWER (p10/p90 overlap)" if overlap else " REGRESSION"
+            if not overlap:
+                regressions.append((name, delta_pct))
+        elif delta_pct < -args.fail_above and not overlap:
+            flag = " improved"
+        print(f"{name:<{width}}  {fmt_ns(mb):>10}  {fmt_ns(mc):>10}  "
+              f"{delta_pct:>+7.1f}%  "
+              f"{'overlaps' if overlap else 'separated'}{flag}")
+    for name in only_base:
+        print(f"{name:<{width}}  (removed: only in baseline)")
+    for name in only_curr:
+        print(f"{name:<{width}}  (new: only in current)")
+
+    if regressions:
+        worst = ", ".join(f"{n} {d:+.1f}%" for n, d in regressions)
+        print(f"\nFAIL: {len(regressions)} case(s) regressed beyond "
+              f"{args.fail_above:.0f}% with separated spreads: {worst}",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: no case regressed beyond {args.fail_above:.0f}% "
+          f"with separated spreads ({len(shared)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
