@@ -1,0 +1,188 @@
+// Degraded-mode economics: what does losing a sensor cost, and what does
+// the low-rank machinery save?
+//
+//   rank-1 pair           — DenseCholesky::rank_update + rank_downdate on
+//                           the demo-scale factor: the primitive the dead-
+//                           channel projection and decouple_channels pay,
+//                           O(n^2) per rank.
+//   rank-r pair           — rank_update_many/rank_downdate_many at r = 2..8
+//                           (a multi-channel outage), O(r n^2).
+//   refactorize           — DenseCholesky construction from scratch, O(n^3/3):
+//                           what every factor-touching alternative pays. The
+//                           ISSUE acceptance bar: the downdate path must be
+//                           >= 10x faster at demo scale (note
+//                           downdate_vs_refactor_speedup).
+//   drop/restore cycle    — StreamingAssimilator::drop_sensor + restore on a
+//                           half-streamed event: the ONLINE cost of a sensor
+//                           dying mid-event (projection rebuild, no factor
+//                           mutation at all).
+//   reduced() precompute  — StreamingEngine::reduced(mask): the from-scratch
+//                           alternative's setup alone (decoupled factor +
+//                           slab re-solve), before it even replays the
+//                           event's backlog.
+//
+// Plus the operational curve: forecast error vs channels lost, quantifying
+// how gracefully the posterior widens as the network dies (notes
+// qoi_err_lost_<k>).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/digital_twin.hpp"
+#include "linalg/dense_cholesky.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace tsunami;
+  namespace bu = tsunami::benchutil;
+
+  TwinConfig config = TwinConfig::tiny();
+  config.num_sensors = 8;
+  config.num_gauges = 3;
+  config.num_intervals = 48;  // demo scale: n = 384 data dimensions
+  config.observation_dt = 2.0;
+  DigitalTwin twin(config);
+
+  RuptureConfig rc;
+  Asperity a;
+  a.x0 = 0.3 * twin.mesh().length_x();
+  a.y0 = 0.5 * twin.mesh().length_y();
+  a.rx = 16e3;
+  a.ry = 24e3;
+  a.peak_uplift = 2.2;
+  rc.asperities.push_back(a);
+  rc.hypocenter_x = a.x0;
+  rc.hypocenter_y = a.y0;
+  Rng rng(11);
+  const SyntheticEvent event = twin.synthesize(RuptureScenario(rc), rng);
+  twin.run_offline(event.noise);
+  const StreamingEngine engine = twin.make_streaming({.track_map = true});
+
+  const std::size_t nt = engine.num_ticks();
+  const std::size_t nd = engine.block_size();
+  const std::size_t n = engine.data_dim();
+  std::printf("=== Degraded-mode inference: downdates vs refactorization ===\n");
+  std::printf("data dim %zu (%zu sensors x %zu ticks)\n\n", n, nd, nt);
+
+  bu::JsonReport report("degraded");
+  const Matrix& k_full = twin.hessian().matrix();
+
+  // --- factor-level primitives -------------------------------------------
+  const int reps = bu::reps(25);
+  DenseCholesky chol(k_full);
+  std::vector<double> u(n), u_work(n);
+  Rng urng(12);
+  for (auto& v : u) v = 0.05 * urng.normal();
+
+  // Update-then-downdate of the same u: an exact round trip, so the factor
+  // the next repetition sees is the same matrix (no SPD drift), and the
+  // timed work is exactly two rank-1 sweeps.
+  const bu::Stat pair1 = bu::time_reps(reps, [&] {
+    std::copy(u.begin(), u.end(), u_work.begin());
+    chol.rank_update(u_work);
+    std::copy(u.begin(), u.end(), u_work.begin());
+    chol.rank_downdate(u_work);
+  });
+  report.add("rank1_update_downdate_pair", {{"n", static_cast<double>(n)}},
+             pair1);
+
+  for (const std::size_t r : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    Matrix u_cols(n, r);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < r; ++j) u_cols(i, j) = 0.05 * urng.normal();
+    const bu::Stat pair_r = bu::time_reps(bu::reps(10), [&] {
+      chol.rank_update_many(u_cols);
+      chol.rank_downdate_many(u_cols);
+    });
+    report.add("rankr_update_downdate_pair",
+               {{"n", static_cast<double>(n)}, {"r", static_cast<double>(r)}},
+               pair_r);
+  }
+
+  const bu::Stat refactor = bu::time_reps(bu::reps(10), [&] {
+    DenseCholesky fresh(k_full);
+    (void)fresh;
+  });
+  report.add("refactorize", {{"n", static_cast<double>(n)}}, refactor);
+
+  // The acceptance ratio: one rank-1 DOWNDATE (half the measured pair)
+  // against a from-scratch factorization.
+  const double downdate_ns = 0.5 * pair1.median_ns;
+  const double speedup = refactor.median_ns / downdate_ns;
+  report.note("downdate_vs_refactor_speedup", speedup);
+
+  // --- streaming-level: sensor death mid-event ---------------------------
+  const auto block = [&](std::size_t t) {
+    return std::span<const double>(event.d_obs).subspan(t * nd, nd);
+  };
+  StreamingAssimilator assim = engine.start();
+  for (std::size_t t = 0; t < nt / 2; ++t) assim.push(t, block(t));
+
+  const bu::Stat cycle = bu::time_reps(reps, [&] {
+    assim.drop_sensor(1);
+    assim.restore_sensor(1);
+  });
+  report.add("drop_restore_cycle_mid_stream",
+             {{"n", static_cast<double>(n)},
+              {"ticks_streamed", static_cast<double>(nt / 2)}},
+             cycle);
+
+  SensorMask mask(nd);
+  mask.drop(1);
+  const bu::Stat reduced_setup = bu::time_reps(bu::reps(5), [&] {
+    const StreamingEngine red = engine.reduced(mask);
+    (void)red;
+  });
+  report.add("reduced_engine_precompute", {{"n", static_cast<double>(n)}},
+             reduced_setup);
+  // The from-scratch alternative ALSO replays the half-event backlog after
+  // its precompute; this ratio is therefore a lower bound on the true win.
+  report.note("drop_vs_reduced_precompute_speedup",
+              reduced_setup.median_ns / (0.5 * cycle.median_ns));
+
+  // --- operational curve: forecast error vs channels lost ----------------
+  // Two views: divergence from the full-network posterior mean (starts at 0,
+  // grows as channels die — the graceful-degradation curve proper) and raw
+  // error vs the true QoI (noisy at this scale, but shows the forecast
+  // collapsing toward the prior once almost everything is dark).
+  TextTable table(
+      {"channels lost", "vs healthy", "vs truth", "mean stddev"});
+  std::vector<double> healthy_mean;
+  for (std::size_t lost = 0; lost < nd; ++lost) {
+    StreamingAssimilator degraded = engine.start();
+    for (std::size_t s = 0; s < lost; ++s) degraded.drop_sensor(s);
+    for (std::size_t t = 0; t < nt; ++t) degraded.push(t, block(t));
+    const Forecast fc = degraded.forecast();
+    if (lost == 0) healthy_mean = fc.mean;
+    const double div = DigitalTwin::relative_error(fc.mean, healthy_mean);
+    const double err = DigitalTwin::relative_error(fc.mean, event.q_true);
+    double sd = 0.0;
+    for (const double v : fc.stddev) sd += v;
+    sd /= static_cast<double>(fc.stddev.size());
+    table.row()
+        .cell(std::to_string(lost) + "/" + std::to_string(nd))
+        .cell(div, 4)
+        .cell(err, 4)
+        .cell(sd, 5);
+    report.note("divergence_from_healthy_lost_" + std::to_string(lost), div);
+    report.note("qoi_err_lost_" + std::to_string(lost), err);
+    report.note("mean_stddev_lost_" + std::to_string(lost), sd);
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "rank-1 update+downdate pair %s | refactorize %s | one downdate "
+      "~%.1fx faster than refactorization\n",
+      format_duration(pair1.median_ns * 1e-9).c_str(),
+      format_duration(refactor.median_ns * 1e-9).c_str(), speedup);
+  std::printf(
+      "drop+restore cycle mid-stream %s | reduced-engine precompute %s\n",
+      format_duration(cycle.median_ns * 1e-9).c_str(),
+      format_duration(reduced_setup.median_ns * 1e-9).c_str());
+  std::printf("wrote %s\n", report.write().c_str());
+  return 0;
+}

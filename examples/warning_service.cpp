@@ -29,6 +29,16 @@
 //                               drains, BEFORE events close (CI scrapes a
 //                               live service this way)
 //   TSUNAMI_JOURNAL=path        per-event lifecycle journal -> JSON Lines
+//
+// Fault injection (deterministic, seeded — see src/service/fault_injector):
+//   TSUNAMI_FAULT_SEED=42                  decision-hash seed
+//   TSUNAMI_FAULT_DROP_SENSOR=2@5,0@8-20   sensor outages (chan@tick[-restore])
+//   TSUNAMI_FAULT_PACKET_LOSS=0.05         P(block lost) per (event, tick)
+//   TSUNAMI_FAULT_CORRUPT=0.01             P(block corrupt) per (event, tick)
+// Lost blocks are submitted with an all-zeros validity bitmap (the stream
+// keeps moving; the posterior is exact over what arrived). Corrupt blocks
+// are submitted with the wrong dimension, rejected at the submit boundary
+// (journal `reject`), and then retransmitted clean.
 
 #include <algorithm>
 #include <chrono>
@@ -46,6 +56,7 @@
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/engine_cache.hpp"
+#include "service/fault_injector.hpp"
 #include "service/warning_service.hpp"
 #include "util/table.hpp"
 
@@ -158,19 +169,60 @@ int main(int argc, char** argv) {
         engine, {.threshold = 0.5 * peak, .debounce_ticks = 2}));
   }
 
+  // Deterministic fault injection over the feed (TSUNAMI_FAULT_*): scripted
+  // sensor outages plus hash-seeded packet loss and corruption. Counters
+  // are reported after the replay; the journal and /metrics carry the
+  // per-event record.
+  const FaultInjector faults(FaultPlan::from_env());
+  std::size_t faults_lost = 0, faults_corrupt = 0, faults_sensor_ops = 0;
+  const std::vector<std::uint8_t> all_lost(nd, 0);
+  const std::vector<double> oversized(nd + 1, 0.0);
+  const auto submit_with_faults = [&](std::size_t e, std::size_t t) {
+    const auto block = std::span<const double>(d_obs[e]).subspan(t * nd, nd);
+    if (faults.lose_block(ids[e], t)) {
+      ++faults_lost;
+      service.submit(ids[e], t, block, all_lost);  // lost in transit
+      return;
+    }
+    if (faults.corrupt_block(ids[e], t)) {
+      try {
+        service.submit(ids[e], t, oversized);  // wrong dimension on the wire
+      } catch (const std::invalid_argument&) {
+        ++faults_corrupt;  // rejected at the boundary, journaled as `reject`
+      }
+      // ... and the transport retransmits the genuine block.
+    }
+    service.submit(ids[e], t, block);
+  };
+
   // Live feed: every cadence interval delivers one block per event, and the
   // transport swaps each pair of ticks (1 before 0, 3 before 2, ...) — the
   // per-session reordering buffer puts them back in causal order.
   for (std::size_t t0 = 0; t0 < nt; t0 += 2) {
+    // Scripted sensor outages fire at tick boundaries, against every event
+    // (the network is shared — a dead cable is dead for everyone).
+    for (std::size_t t = t0; t < std::min(t0 + 2, nt); ++t) {
+      for (const auto& [chan, live] : faults.sensor_ops_at(t)) {
+        for (std::size_t e = 0; e < n_events; ++e) {
+          if (live)
+            service.restore_sensor(ids[e], chan);
+          else
+            service.drop_sensor(ids[e], chan);
+          ++faults_sensor_ops;
+        }
+      }
+    }
     for (std::size_t e = 0; e < n_events; ++e) {
-      const auto block = [&](std::size_t t) {
-        return std::span<const double>(d_obs[e]).subspan(t * nd, nd);
-      };
-      if (t0 + 1 < nt) service.submit(ids[e], t0 + 1, block(t0 + 1));
-      service.submit(ids[e], t0, block(t0));
+      if (t0 + 1 < nt) submit_with_faults(e, t0 + 1);
+      submit_with_faults(e, t0);
     }
   }
   service.drain();
+  if (faults.plan().any())
+    std::printf("[faults] seed %llu: %zu blocks lost, %zu corrupt rejected, "
+                "%zu sensor ops\n",
+                static_cast<unsigned long long>(faults.plan().seed),
+                faults_lost, faults_corrupt, faults_sensor_ops);
 
   // TSUNAMI_HTTP_LINGER=secs: hold the replayed-but-still-open sessions so
   // an external scraper (CI) can observe a LIVE service — events in flight,
@@ -185,7 +237,7 @@ int main(int argc, char** argv) {
   }
 
   TextTable table({"event", "Mw", "alert @", "peak @", "lead", "q err",
-                   "ticks"});
+                   "ticks", "deg"});
   for (std::size_t e = 0; e < n_events; ++e) {
     const EventSnapshot s = service.close_event(ids[e]);
     const std::size_t peak_idx = static_cast<std::size_t>(
@@ -205,7 +257,8 @@ int main(int argc, char** argv) {
                   ? format_duration(peak_seconds - alert_seconds)
                   : "-")
         .cell(DigitalTwin::relative_error(s.forecast.mean, q_true[e]), 3)
-        .cell(ticks);
+        .cell(ticks)
+        .cell(s.degraded ? std::to_string(s.dropped_channels) + " ch" : "-");
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("telemetry: %s\n", service.telemetry().str().c_str());

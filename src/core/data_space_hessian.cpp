@@ -118,6 +118,62 @@ const Matrix& DataSpaceHessian::matrix() const {
   return k_;
 }
 
+void DataSpaceHessian::decouple_channels(const SensorMask& mask,
+                                         std::size_t channels_per_tick) {
+  const std::size_t n = dim();
+  if (channels_per_tick == 0 || n % channels_per_tick != 0)
+    throw std::invalid_argument(
+        "DataSpaceHessian::decouple_channels: dim not a multiple of "
+        "channels_per_tick");
+  if (mask.size() != channels_per_tick)
+    throw std::invalid_argument(
+        "DataSpaceHessian::decouple_channels: mask size mismatch");
+  const double var = noise_.variance();
+  std::vector<double> v(n), u(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!mask.masked(p % channels_per_tick)) continue;
+    // Current column K e_p, straight from the factor: L^T e_p is row p of L
+    // (nonzero only up to p), so K e_p = L (L^T e_p) costs O(n p).
+    const Matrix& l = chol_->factor();
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      const std::size_t jmax = std::min(i, p);
+      for (std::size_t j = 0; j <= jmax; ++j) s += l(i, j) * l(p, j);
+      v[i] = s;
+    }
+    // Target row/col: sigma^2 e_p.  K' = K - e_p v^T - v e_p^T with
+    //   v = K e_p - sigma^2 e_p - 1/2 (K_pp - sigma^2) e_p
+    // touches exactly row/column p.  Off-diagonal entries of v are K_ip.
+    const double kpp = v[p];
+    v[p] = 0.5 * (kpp - var);
+    double alpha2 = 0.0;
+    for (double x : v) alpha2 += x * x;
+    const double alpha = std::sqrt(alpha2);
+    // Already-decoupled row (repeat call, or a channel whose rows were never
+    // coupled): correction is numerically zero — skip, keeping the edit
+    // idempotent and avoiding a degenerate hyperbolic rotation.
+    if (alpha <= 1e-15 * std::max(std::abs(kpp), var)) continue;
+    // Split the symmetric rank-2 term:  e v^T + v e^T =
+    //   (1/2a)[(a e + v)(a e + v)^T - (a e - v)(a e - v)^T],   a = |v|.
+    // Apply the SPD-safe order: grow first (update with (a e - v)), then
+    // shrink (downdate with (a e + v)).
+    const double scale = 1.0 / std::sqrt(2.0 * alpha);
+    for (std::size_t i = 0; i < n; ++i)
+      u[i] = ((i == p ? alpha : 0.0) - v[i]) * scale;
+    chol_->rank_update(u);
+    for (std::size_t i = 0; i < n; ++i)
+      u[i] = ((i == p ? alpha : 0.0) + v[i]) * scale;
+    chol_->rank_downdate(u);
+    if (k_.rows() == n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        k_(i, p) = 0.0;
+        k_(p, i) = 0.0;
+      }
+      k_(p, p) = var;
+    }
+  }
+}
+
 void DataSpaceHessian::solve(std::span<const double> x,
                              std::span<double> y) const {
   if (x.size() != dim() || y.size() != dim())

@@ -17,6 +17,7 @@
 #include <memory>
 #include <span>
 
+#include "core/sensor_mask.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/dense_cholesky.hpp"
 #include "prior/matern_prior.hpp"
@@ -60,6 +61,17 @@ class DataSpaceHessian {
 
   /// y = K^{-1} x.
   void solve(std::span<const double> x, std::span<double> y) const;
+
+  /// Degraded-mode factor edit (ISSUE 10): replace every observation row of
+  /// a dropped channel by a pure-noise row, in place on the Cholesky factor.
+  /// Rows p with mask.masked(p % channels_per_tick) have K's row/column p
+  /// rewritten to sigma^2 e_p — exactly the Hessian of the network that never
+  /// had those channels, at full dimension — via one rank-2
+  /// (update + hyperbolic downdate) pair per row: O(r n^2) for r dropped
+  /// rows versus O(n^3) refactorization. Already-decoupled rows are skipped,
+  /// so the edit is idempotent. Works on warm (from_factor) instances; the
+  /// retained K of a cold instance is kept consistent.
+  void decouple_channels(const SensorMask& mask, std::size_t channels_per_tick);
 
   /// Asymmetry of the formed K before symmetrization: max |K - K^T| /
   /// max |K|; a structural check on F/F* consistency (should be ~1e-14).

@@ -31,6 +31,11 @@ struct Forecast {
   std::vector<double> stddev;   ///< sqrt(diag Gamma_post(q))
   std::vector<double> lower95;  ///< mean - 1.96 std
   std::vector<double> upper95;  ///< mean + 1.96 std
+  /// Degraded-mode provenance (ISSUE 10): true when the producing
+  /// assimilator has dropped sensors or projected-out invalid ticks — the
+  /// forecast is still an *exact* posterior, but over the surviving network.
+  bool degraded = false;
+  std::size_t dropped_channels = 0;  ///< currently masked channels
 
   [[nodiscard]] double at(const std::vector<double>& field, std::size_t t,
                           std::size_t g) const {

@@ -99,6 +99,33 @@ std::vector<double> Posterior::map_point(std::span<const double> d_obs) const {
   return m;
 }
 
+std::vector<double> Posterior::map_point_masked(std::span<const double> d_obs,
+                                                const SensorMask& mask) const {
+  if (d_obs.size() != data_dim())
+    throw std::invalid_argument("Posterior::map_point_masked: size mismatch");
+  const std::size_t nd = f_.block_rows();
+  if (mask.size() != nd)
+    throw std::invalid_argument(
+        "Posterior::map_point_masked: mask size mismatch");
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < data_dim(); ++i)
+    if (!mask.masked(i % nd)) live.push_back(i);
+  const Matrix& k = hess_.matrix();
+  Matrix ks(live.size(), live.size());
+  for (std::size_t a = 0; a < live.size(); ++a)
+    for (std::size_t b = 0; b < live.size(); ++b)
+      ks(a, b) = k(live[a], live[b]);
+  DenseCholesky chol(ks);
+  std::vector<double> rhs(live.size());
+  for (std::size_t a = 0; a < live.size(); ++a) rhs[a] = d_obs[live[a]];
+  chol.solve_in_place(rhs);
+  std::vector<double> y(data_dim(), 0.0);
+  for (std::size_t a = 0; a < live.size(); ++a) y[live[a]] = rhs[a];
+  std::vector<double> m(parameter_dim());
+  apply_gstar(y, std::span<double>(m));
+  return m;
+}
+
 TSUNAMI_HOT_PATH void Posterior::covariance_apply(std::span<const double> x,
                                                   std::span<double> y,
                                                   Workspace& ws) const {

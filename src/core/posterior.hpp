@@ -82,6 +82,15 @@ class Posterior {
   TSUNAMI_HOT_PATH void map_point(std::span<const double> d_obs,
                                   std::span<double> m, Workspace& ws) const;
 
+  /// Reference MAP point over a reduced sensor network: builds the reduced
+  /// data-space Hessian K[S,S] (S = rows of surviving channels) explicitly,
+  /// solves it dense, and applies G* restricted to S. Deliberately
+  /// brute-force — O(|S|^3) and requires the formed K (cold path only) — it
+  /// is the independent oracle the degraded-mode streaming tests compare the
+  /// O(r n^2) downdate/projection machinery against.
+  [[nodiscard]] std::vector<double> map_point_masked(
+      std::span<const double> d_obs, const SensorMask& mask) const;
+
   /// y = Gamma_post x  (one "billion-parameter inverse solve" per call in
   /// the paper's phrasing; here two Toeplitz matvecs + prior solves + one
   /// Cholesky solve).

@@ -1,0 +1,64 @@
+#pragma once
+
+// SensorMask: which channels of the observation network are live.
+//
+// The data stream interleaves one row per sensor per tick (row t*nd + s is
+// sensor s at tick t), so a mask over the nd channels induces a mask over
+// every observation row ever pushed. Degraded-mode inference (ISSUE 10)
+// threads this mask through DataSpaceHessian (decouple_channels),
+// StreamingEngine::start (from-scratch reduced-network reference) and
+// StreamingAssimilator::drop_sensor/restore_sensor (mid-stream exact
+// projection).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace tsunami {
+
+/// Boolean mask over the network's channels; true = dropped (dead).
+class SensorMask {
+ public:
+  SensorMask() = default;
+  explicit SensorMask(std::size_t num_channels)
+      : dropped_(num_channels, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return dropped_.size(); }
+
+  void drop(std::size_t channel) { at(channel) = 1; }
+  void restore(std::size_t channel) { at(channel) = 0; }
+
+  [[nodiscard]] bool masked(std::size_t channel) const {
+    if (channel >= dropped_.size())
+      throw std::out_of_range("SensorMask: channel out of range");
+    return dropped_[channel] != 0;
+  }
+
+  [[nodiscard]] std::size_t dropped_count() const {
+    std::size_t n = 0;
+    for (const auto b : dropped_) n += b != 0 ? 1u : 0u;
+    return n;
+  }
+
+  [[nodiscard]] bool any() const { return dropped_count() > 0; }
+
+  /// Raw bits, one byte per channel (1 = dropped) — the wire/loop-friendly
+  /// view used by validity bitmaps.
+  [[nodiscard]] const std::vector<std::uint8_t>& bits() const {
+    return dropped_;
+  }
+
+  friend bool operator==(const SensorMask&, const SensorMask&) = default;
+
+ private:
+  std::uint8_t& at(std::size_t channel) {
+    if (channel >= dropped_.size())
+      throw std::out_of_range("SensorMask: channel out of range");
+    return dropped_[channel];
+  }
+
+  std::vector<std::uint8_t> dropped_;
+};
+
+}  // namespace tsunami

@@ -48,12 +48,14 @@
 //                          q_map); cheap to create, reset, and replay.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "core/forecast.hpp"
 #include "core/posterior.hpp"
+#include "core/sensor_mask.hpp"
 #include "linalg/dense.hpp"
 #include "util/hot_path.hpp"
 #include "util/timer.hpp"
@@ -95,6 +97,23 @@ class StreamingEngine {
   /// Begin assimilating a new event.
   [[nodiscard]] StreamingAssimilator start() const;
 
+  /// From-scratch reduced-network engine: the streaming precompute rebuilt
+  /// as if the masked channels never existed. The dropped rows of the
+  /// data-space Hessian are decoupled to pure noise via the O(r n^2)
+  /// rank-2 factor edits (DataSpaceHessian::decouple_channels), the slabs
+  /// re-solved against the decoupled factor, and the credible-interval
+  /// schedule rebuilt — so assimilators started from the result compute the
+  /// exact posterior of the surviving network. This is the oracle that
+  /// StreamingAssimilator::drop_sensor's mid-stream projection is tested
+  /// against, and the refactorize-from-scratch baseline bench_degraded
+  /// times. Works on warm (factor-only) hessians: only the factor is read.
+  [[nodiscard]] StreamingEngine reduced(const SensorMask& mask) const;
+
+  /// The channel mask this engine was reduced with (empty/all-live for a
+  /// full-network engine).
+  [[nodiscard]] const SensorMask& mask() const { return mask_; }
+  [[nodiscard]] bool is_reduced() const { return reduced_hess_ != nullptr; }
+
   // ---- dimensions ----------------------------------------------------------
   [[nodiscard]] std::size_t num_ticks() const { return nt_; }        ///< Nt
   [[nodiscard]] std::size_t block_size() const { return nd_; }       ///< Nd
@@ -126,6 +145,16 @@ class StreamingEngine {
   /// Throws std::logic_error if the owning twin's offline state is gone.
   void check_alive(const char* what) const;
 
+  /// The factor every streaming solve runs against: the posterior's on a
+  /// full-network engine, the decoupled copy on a reduced() one.
+  [[nodiscard]] const DenseCholesky& chol() const {
+    return reduced_hess_ ? reduced_hess_->cholesky()
+                         : post_.hessian().cholesky();
+  }
+
+  /// reduced(): rebuild the slabs/schedule against the decoupled factor.
+  void apply_mask(const SensorMask& mask);
+
   const Posterior& post_;
   const QoiPredictor& pred_;
   std::weak_ptr<const void> lifetime_;
@@ -135,6 +164,11 @@ class StreamingEngine {
   Matrix r_;             ///< L^{-1} V, (Nd Nt) x nqoi; row j contiguous
   Matrix wstar_;         ///< L^{-1} F Gamma_prior, (Nd Nt) x (Nm Nt) (if track_map)
   Matrix std_schedule_;  ///< (Nt + 1) x nqoi; row t = stddev after t ticks
+  SensorMask mask_;      ///< channels this engine was reduced without
+  /// Decoupled-factor hessian of a reduced() engine (null on full-network
+  /// engines). Owned here: the posterior's hessian stays untouched, so any
+  /// number of reduced engines can coexist with the full one.
+  std::unique_ptr<DataSpaceHessian> reduced_hess_;
   double precompute_seconds_ = 0.0;
 };
 
@@ -149,6 +183,17 @@ class StreamingAssimilator {
   /// that interval. Updates z, q_map, and (if tracked) m_map incrementally.
   TSUNAMI_HOT_PATH void push(std::size_t tick, std::span<const double> d_block);
 
+  /// As push(), but with a per-channel validity bitmap (`valid[c] != 0`
+  /// means channel c's sample is usable; empty = all valid). Invalid
+  /// channels are projected out of the posterior *exactly* — equivalent to
+  /// marginalizing their noise to infinity, not to assimilating zeros — via
+  /// the per-row Woodbury projection documented in the .cpp. A whole-block
+  /// loss (all channels invalid) keeps the stream advancing with the tick
+  /// contributing no information. Rows pushed invalid are permanently dead:
+  /// the sample never existed, so restore_sensor cannot resurrect them.
+  TSUNAMI_HOT_PATH void push(std::size_t tick, std::span<const double> d_block,
+                             std::span<const std::uint8_t> valid);
+
   /// Batched cross-event push: assimilate interval `tick` for K events at
   /// once. All assimilators must share the SAME engine (the slabs are
   /// immutable and shared) and all must be exactly at `tick`; blocks[k] is
@@ -162,6 +207,43 @@ class StreamingAssimilator {
   TSUNAMI_HOT_PATH static void push_many(
       std::span<StreamingAssimilator* const> events, std::size_t tick,
       std::span<const std::span<const double>> blocks);
+
+  /// Batched push with per-event validity bitmaps (`valids` empty = all
+  /// valid everywhere; an individual empty bitmap = that block fully valid).
+  TSUNAMI_HOT_PATH static void push_many(
+      std::span<StreamingAssimilator* const> events, std::size_t tick,
+      std::span<const std::span<const double>> blocks,
+      std::span<const std::span<const std::uint8_t>> valids);
+
+  // ---- degraded-mode control plane (ISSUE 10) ------------------------------
+  // Sensor dropout does NOT touch the engine: the shared slabs and factor
+  // stay immutable (other sessions keep streaming through them), and this
+  // assimilator instead maintains an exact low-rank Woodbury correction over
+  // its dead observation rows, advanced incrementally per tick via the
+  // rank-1 Cholesky update / append primitives. See the .cpp for the math.
+
+  /// Drop channel `s` mid-stream: every row it contributed so far is
+  /// projected out retroactively and future pushes ignore it — from the next
+  /// forecast on, the posterior is exactly the one a from-scratch
+  /// assimilator on the reduced network would compute. Idempotent.
+  void drop_sensor(std::size_t s);
+
+  /// Re-admit channel `s`: rows it pushed while live (before drop_sensor)
+  /// rejoin the posterior — their genuine data was kept — and future pushes
+  /// assimilate it again. Rows pushed while dropped stay dead (no data ever
+  /// arrived). A drop/restore cycle with no intervening pushes restores the
+  /// assimilator bitwise. Idempotent.
+  void restore_sensor(std::size_t s);
+
+  /// True when any channel is masked or any observation row is projected
+  /// out — i.e. forecasts are exact posteriors over a reduced network.
+  [[nodiscard]] bool degraded() const {
+    return !dead_.empty() || mask_.any();
+  }
+  [[nodiscard]] std::size_t dropped_channels() const {
+    return mask_.dropped_count();
+  }
+  [[nodiscard]] const SensorMask& sensor_mask() const { return mask_; }
 
   [[nodiscard]] std::size_t ticks_received() const { return t_; }
   [[nodiscard]] bool complete() const { return t_ == eng_.num_ticks(); }
@@ -182,6 +264,9 @@ class StreamingAssimilator {
   [[nodiscard]] const std::vector<double>& qoi_mean() const { return q_mean_; }
 
   /// Rolling MAP estimate m_map(t). Requires an engine with track_map.
+  /// When degraded, returns the projection-corrected estimate (materialized
+  /// on demand into a per-assimilator cache — O(p Nm Nt), so callers on the
+  /// hot publish path should prefer forecast_into, which never needs it).
   [[nodiscard]] const std::vector<double>& map_estimate() const;
 
   /// On-demand MAP estimate via prefix backward substitution — O(p^2) but
@@ -197,11 +282,55 @@ class StreamingAssimilator {
   void reset();
 
  private:
+  /// One projected-out observation row. `y` is the causal unit solve
+  /// L^{-1} e_row (meaningful over [row, p)); `g` accumulates R[row:p,:]^T y
+  /// — the row's influence on the QoI mean. Both extend per tick alongside
+  /// z, so corrections never re-walk the past.
+  struct DeadRow {
+    std::size_t row = 0;
+    /// Pushed with invalid/absent data: no genuine sample exists in z, so
+    /// restore_sensor can never resurrect this row.
+    bool permanent = false;
+    std::vector<double> y;
+    std::vector<double> g;
+  };
+
+  /// Copy a tick block into z, zeroing dead channels (engine-reduced,
+  /// dropped, or invalid-by-bitmap). Plain copy when nothing is dead.
+  TSUNAMI_HOT_PATH void stage_block(std::span<const double> d_block,
+                                    std::span<const std::uint8_t> valid,
+                                    std::size_t p0);
+  /// Returns true if the staged tick introduces new dead rows.
+  [[nodiscard]] bool tick_has_new_dead(
+      std::span<const std::uint8_t> valid) const;
+  /// Extend the projection state over the freshly solved rows [p0, p1):
+  /// grow existing y/g/h columns, rank-1-update chol(S) per row, append
+  /// columns for newly dead rows.
+  TSUNAMI_HOT_PATH void advance_degraded(std::size_t p0, std::size_t p1,
+                                         std::span<const std::uint8_t> valid);
+  /// Recompute the whole projection (y, g, h, chol(S)) from dead_'s
+  /// row/permanent fields at the current prefix — the control-event path
+  /// behind drop_sensor/restore_sensor.
+  void rebuild_projections();
+  /// c = S^{-1} h into c_scratch_ (empty when not degraded).
+  void compute_projection_coeffs() const;
+
   const StreamingEngine& eng_;
   std::size_t t_ = 0;
   std::vector<double> z_;       ///< L^{-1} d prefix, extended causally
   std::vector<double> q_mean_;  ///< R[0:p,:]^T z[0:p]
   std::vector<double> m_map_;   ///< W*[0:p,:]^T z[0:p] (if tracked)
+
+  // Degraded-mode state (all empty on the healthy path).
+  SensorMask mask_;              ///< currently dropped channels
+  std::vector<DeadRow> dead_;    ///< projected rows, ascending by row
+  std::unique_ptr<DenseCholesky> s_chol_;  ///< chol(Y^T Y), r x r
+  std::vector<double> h_;        ///< Y^T z over the pushed prefix
+  std::vector<double> u_scratch_;          ///< rank-1 update staging (r)
+  mutable std::vector<double> c_scratch_;  ///< S^{-1} h (r)
+  mutable std::vector<double> var_scratch_;  ///< per-QoI S^{-1} G^T column (r)
+  mutable std::vector<double> proj_scratch_;  ///< -Y S^{-1} h staging (n)
+  mutable std::vector<double> m_corr_;     ///< corrected MAP cache
   /// map_snapshot scratch: the prefix backward-substitution vector and the
   /// Toeplitz/prior workspace for the prefix G* lift. mutable because the
   /// snapshot is logically const; the assimilator is single-caller by

@@ -152,6 +152,99 @@ void DenseCholesky::solve_in_place(Matrix& b) const {
   solve_columns(b, [this](std::span<double> col) { solve_in_place(col); });
 }
 
+TSUNAMI_HOT_PATH void DenseCholesky::rank_update(std::span<double> u) {
+  const std::size_t n = l_.rows();
+  if (u.size() != n)
+    throw std::invalid_argument("DenseCholesky::rank_update: size mismatch");
+  double* lp = l_.data();
+  // Givens rotations annihilate u against the diagonal of L, column by
+  // column: [L u] Q^T = [L' 0] with Q orthogonal, so L' L'^T = L L^T + u u^T.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double uk = u[k];
+    if (uk == 0.0) continue;
+    const double lkk = lp[k * n + k];
+    const double r = std::hypot(lkk, uk);
+    const double c = r / lkk;
+    const double s = uk / lkk;
+    lp[k * n + k] = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double lik = lp[i * n + k];
+      lp[i * n + k] = (lik + s * u[i]) / c;
+      u[i] = c * u[i] - s * lp[i * n + k];
+    }
+  }
+}
+
+TSUNAMI_HOT_PATH void DenseCholesky::rank_downdate(std::span<double> u) {
+  const std::size_t n = l_.rows();
+  if (u.size() != n)
+    throw std::invalid_argument("DenseCholesky::rank_downdate: size mismatch");
+  double* lp = l_.data();
+  // Hyperbolic rotations: [L u] H = [L' 0] with H J H^T = J for the
+  // signature J = diag(I, -1), so L' L'^T = L L^T - u u^T. Each pivot
+  // shrinks; a nonpositive pivot means L L^T - u u^T is not SPD.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double uk = u[k];
+    if (uk == 0.0) continue;
+    const double lkk = lp[k * n + k];
+    const double r2 = (lkk - uk) * (lkk + uk);
+    if (r2 <= 0.0)
+      throw std::runtime_error(
+          "DenseCholesky::rank_downdate: downdated matrix not SPD");
+    const double r = std::sqrt(r2);
+    const double c = r / lkk;
+    const double s = uk / lkk;
+    lp[k * n + k] = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double lik = lp[i * n + k];
+      lp[i * n + k] = (lik - s * u[i]) / c;
+      u[i] = c * u[i] - s * lp[i * n + k];
+    }
+  }
+}
+
+void DenseCholesky::rank_update_many(const Matrix& u_cols) {
+  if (u_cols.rows() != l_.rows())
+    throw std::invalid_argument("DenseCholesky::rank_update_many: rows mismatch");
+  std::vector<double> col(u_cols.rows());
+  for (std::size_t c = 0; c < u_cols.cols(); ++c) {
+    for (std::size_t i = 0; i < col.size(); ++i) col[i] = u_cols(i, c);
+    rank_update(col);
+  }
+}
+
+void DenseCholesky::rank_downdate_many(const Matrix& u_cols) {
+  if (u_cols.rows() != l_.rows())
+    throw std::invalid_argument(
+        "DenseCholesky::rank_downdate_many: rows mismatch");
+  std::vector<double> col(u_cols.rows());
+  for (std::size_t c = 0; c < u_cols.cols(); ++c) {
+    for (std::size_t i = 0; i < col.size(); ++i) col[i] = u_cols(i, c);
+    rank_downdate(col);
+  }
+}
+
+void DenseCholesky::append_row(std::span<const double> a_col) {
+  const std::size_t n = l_.rows();
+  if (a_col.size() != n + 1)
+    throw std::invalid_argument("DenseCholesky::append_row: size mismatch");
+  // New factor row: L[n, 0:n] solves L l = a_col[0:n); the diagonal closes
+  // the square. Solve first (against the old factor), then grow storage.
+  std::vector<double> row(a_col.begin(), a_col.begin() + static_cast<std::ptrdiff_t>(n));
+  forward_solve_in_place(std::span<double>(row));
+  double d = a_col[n];
+  for (std::size_t j = 0; j < n; ++j) d -= row[j] * row[j];
+  if (d <= 0.0)
+    throw std::runtime_error(
+        "DenseCholesky::append_row: extended matrix not SPD");
+  Matrix grown(n + 1, n + 1);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
+  for (std::size_t j = 0; j < n; ++j) grown(n, j) = row[j];
+  grown(n, n) = std::sqrt(d);
+  l_ = std::move(grown);
+}
+
 double DenseCholesky::log_det() const {
   const std::size_t n = l_.rows();
   double s = 0.0;

@@ -68,6 +68,35 @@ class DenseCholesky {
   /// A[0:p, 0:p] x = b[0:p) exactly — no refactorization.
   void backward_solve_prefix(std::span<double> b, std::size_t prefix) const;
 
+  // ---- low-rank factor maintenance ----------------------------------------
+  // Rank-1 update/downdate rotate the factor in place in O(n^2) — the kernel
+  // of degraded-mode inference (ISSUE 10): removing or re-adding a sensor's
+  // rows edits the data-space factor without the O(n^3) refactorization.
+  // Both are destructive on `u` (it becomes rotation scratch); callers own
+  // the buffer so the streaming hot path can reuse one allocation forever.
+
+  /// A <- A + u u^T via Givens rotations applied to [L u]. Destroys `u`.
+  /// u.size() must equal dim().
+  TSUNAMI_HOT_PATH void rank_update(std::span<double> u);
+
+  /// A <- A - u u^T via hyperbolic rotations. Destroys `u`. Throws
+  /// std::runtime_error if the downdated matrix is not SPD to working
+  /// precision (the pivot under the rotation would be nonpositive).
+  TSUNAMI_HOT_PATH void rank_downdate(std::span<double> u);
+
+  /// Rank-r update/downdate: one rank-1 pass per column of `u_cols`
+  /// (dim() x r), left to right. O(r n^2) total.
+  void rank_update_many(const Matrix& u_cols);
+  void rank_downdate_many(const Matrix& u_cols);
+
+  /// Grow the factorization by one trailing row/column: given the new
+  /// symmetric column a_col = A[0:n+1, n] of the extended matrix (length
+  /// n+1, diagonal entry last), appends the matching factor row in O(n^2)
+  /// (dominated by copying L into its larger storage; the solve is O(n^2)
+  /// too). Throws if the extended matrix is not SPD. This is the "sensor
+  /// joins" direction of the update/downdate pair.
+  void append_row(std::span<const double> a_col);
+
   /// log det(A) = 2 sum log L_ii.
   [[nodiscard]] double log_det() const;
 

@@ -38,6 +38,9 @@ const char* journal_kind_name(JournalKind kind) {
     case JournalKind::kAlertLatch: return "alert_latch";
     case JournalKind::kAlertUnlatch: return "alert_unlatch";
     case JournalKind::kClose: return "close";
+    case JournalKind::kSensorDrop: return "sensor_drop";
+    case JournalKind::kSensorRestore: return "sensor_restore";
+    case JournalKind::kReject: return "reject";
   }
   return "unknown";
 }

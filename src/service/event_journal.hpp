@@ -57,6 +57,9 @@ enum class JournalKind : std::uint8_t {
   kAlertLatch = 6,          ///< debounced alert latched at `tick`
   kAlertUnlatch = 7,        ///< reserved: the current policy never unlatches
   kClose = 8,               ///< session closed; tick = ticks assimilated
+  kSensorDrop = 9,          ///< channel masked out; tick = channel index
+  kSensorRestore = 10,      ///< channel re-admitted; tick = channel index
+  kReject = 11,             ///< corrupt block refused; tick = offending tick
 };
 
 /// Stable lowercase name for a kind ("open", "push", ...): the `kind` field

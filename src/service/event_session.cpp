@@ -45,11 +45,34 @@ void EventSession::journal_mark(JournalKind kind, std::uint64_t tick,
 
 bool EventSession::submit(std::size_t tick, std::span<const double> d_block,
                           ServiceTelemetry& telemetry) {
+  return submit(tick, d_block, {}, telemetry);
+}
+
+bool EventSession::submit(std::size_t tick, std::span<const double> d_block,
+                          std::span<const std::uint8_t> valid,
+                          ServiceTelemetry& telemetry) {
   const StreamingEngine& eng = engine_->engine();
-  if (tick >= eng.num_ticks())
-    throw std::invalid_argument("EventSession::submit: tick out of range");
-  if (d_block.size() != eng.block_size())
-    throw std::invalid_argument("EventSession::submit: block size mismatch");
+  // Corrupt-block rejection: malformed wire data (impossible tick, wrong
+  // block dimension, wrong bitmap dimension) is journaled and refused HERE,
+  // at the submit boundary — a corrupt packet must never become a throw out
+  // of a drain worker, and must never poison the session's good state.
+  if (tick >= eng.num_ticks() || d_block.size() != eng.block_size() ||
+      (!valid.empty() && valid.size() != eng.block_size())) {
+    telemetry.on_corrupt();
+    journal_mark(JournalKind::kReject, tick);
+    if (tick >= eng.num_ticks())
+      throw std::invalid_argument("EventSession::submit: tick out of range");
+    if (d_block.size() != eng.block_size())
+      throw std::invalid_argument("EventSession::submit: block size mismatch");
+    throw std::invalid_argument("EventSession::submit: bitmap size mismatch");
+  }
+  // Normalize an all-ones bitmap to "no bitmap": a fully-valid partial
+  // submit stays on the healthy fast path and is bitwise-identical to the
+  // plain overload.
+  if (!valid.empty() &&
+      std::all_of(valid.begin(), valid.end(),
+                  [](std::uint8_t v) { return v != 0; }))
+    valid = {};
 
   std::unique_lock<std::mutex> lock(state_mutex_);
   if (closing_)
@@ -86,6 +109,7 @@ bool EventSession::submit(std::size_t tick, std::span<const double> d_block,
   }
   pending_.emplace(
       tick, Pending{std::vector<double>(d_block.begin(), d_block.end()),
+                    std::vector<std::uint8_t>(valid.begin(), valid.end()),
                     obs::monotonic_ns()});
 
   // Schedule iff in-order work just became available and no worker owns the
@@ -109,6 +133,7 @@ void EventSession::take_runnable_locked(std::vector<Block>& batch) {
   while (!pending_.empty() && pending_.begin()->first == next_expected_) {
     auto node = pending_.extract(pending_.begin());
     batch.push_back(Block{node.key(), std::move(node.mapped().data),
+                          std::move(node.mapped().valid),
                           node.mapped().enqueue_ns});
     ++next_expected_;
   }
@@ -131,6 +156,7 @@ bool EventSession::take_one_runnable(Block& out) {
   auto node = pending_.extract(pending_.begin());
   out.tick = node.key();
   out.data = std::move(node.mapped().data);
+  out.valid = std::move(node.mapped().valid);
   out.enqueue_ns = node.mapped().enqueue_ns;
   ++next_expected_;
   space_cv_.notify_all();
@@ -141,6 +167,8 @@ bool EventSession::release_if_idle() {
   const std::lock_guard<std::mutex> lock(state_mutex_);
   if (!pending_.empty() && pending_.begin()->first == next_expected_)
     return false;  // a submit raced in-order work in: still ours to drain
+  if (!mask_ops_.empty())
+    return false;  // a set_sensor raced a control op in: apply before idling
   scheduled_ = false;
   idle_cv_.notify_all();
   return true;
@@ -152,10 +180,15 @@ void EventSession::drain_for(ServiceTelemetry& telemetry) {
   // sessions' lifetimes, so a steady-state drain performs no allocation —
   // the blocks' data vectors are moved out of the map nodes, not copied.
   for (;;) {
+    // Sensor control ops land at cycle boundaries: never inside a push, and
+    // the corrected forecast publishes immediately even when no data is
+    // buffered (the common case for a drop on a quiet session).
+    if (apply_pending_mask_ops()) publish_forecast_only();
     {
       const std::lock_guard<std::mutex> lock(state_mutex_);
       take_runnable_locked(drain_batch_);
       if (drain_batch_.empty()) {
+        if (!mask_ops_.empty()) continue;  // a control op raced this branch
         // Going idle. A submit racing with this branch either ran before we
         // took the lock (its block would be in the batch) or runs after
         // scheduled_ drops (and wins the flag itself) — no lost wakeups.
@@ -173,8 +206,66 @@ void EventSession::drain_for(ServiceTelemetry& telemetry) {
 void EventSession::assimilate(const Block& block,
                               ServiceTelemetry& telemetry) {
   begin_push_ctx(block.tick, block.enqueue_ns);
-  assim_.push(block.tick, block.data);
+  assim_.push(block.tick, block.data, block.valid);
   publish_after_push(telemetry);
+}
+
+void EventSession::set_sensor(std::size_t s, bool live,
+                              ServiceTelemetry& telemetry) {
+  const StreamingEngine& eng = engine_->engine();
+  if (s >= eng.block_size())
+    throw std::out_of_range("EventSession::set_sensor: channel out of range");
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    if (closing_)
+      throw std::logic_error("EventSession::set_sensor: event is closed");
+    mask_ops_.push_back(MaskOp{s, live});
+    // Idle session: this caller wins the scheduled flag and applies the op
+    // itself. Otherwise the owning worker picks it up at its next cycle
+    // boundary (drain_for's loop head, or the batcher's round head) —
+    // release_if_idle refuses to idle past a queued op, so it cannot
+    // linger.
+    if (!scheduled_) {
+      scheduled_ = true;
+      owner = true;
+    }
+  }
+  journal_mark(live ? JournalKind::kSensorRestore : JournalKind::kSensorDrop,
+               s);
+  if (owner) drain_for(telemetry);  // applies the op, republishes, releases
+}
+
+bool EventSession::apply_pending_mask_ops() {
+  // Owner only: pop under the lock, apply outside it — drop_sensor rebuilds
+  // the dead-channel projection (O(r p^2)) and must not stall producers.
+  std::vector<MaskOp> ops;  // lint: allow(hot-path-alloc) control event
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    ops.swap(mask_ops_);
+  }
+  if (ops.empty()) return false;
+  for (const MaskOp& op : ops) {
+    // Validated at set_sensor; drop-of-dropped / restore-of-live are no-ops
+    // in the assimilator, so replayed control packets are harmless.
+    if (op.live)
+      assim_.restore_sensor(op.sensor);
+    else
+      assim_.drop_sensor(op.sensor);
+  }
+  return true;
+}
+
+void EventSession::publish_forecast_only() {
+  assim_.forecast_into(staging_forecast_);
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    ticks_assimilated_ = assim_.ticks_received();
+    std::swap(latest_forecast_, staging_forecast_);
+  }
+  // mo: relaxed — staleness gauge timestamp; same contract as the store in
+  // publish_after_push.
+  last_publish_ns_.store(obs::monotonic_ns(), std::memory_order_relaxed);
 }
 
 void EventSession::begin_push_ctx(std::size_t tick, std::int64_t enqueue_ns) {
@@ -286,8 +377,15 @@ EventSnapshot EventSession::snapshot() const {
     s.alert_tick = alert_tick_;
     s.forecast = latest_forecast_;
   }
+  s.degraded = s.forecast.degraded;
+  s.dropped_channels = s.forecast.dropped_channels;
   s.complete = s.ticks_assimilated == engine_->engine().num_ticks();
   return s;
+}
+
+std::pair<bool, std::size_t> EventSession::degraded_state() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return {latest_forecast_.degraded, latest_forecast_.dropped_channels};
 }
 
 }  // namespace tsunami

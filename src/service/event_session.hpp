@@ -40,6 +40,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/forecast.hpp"
@@ -77,6 +78,8 @@ struct EventSnapshot {
   std::size_t ticks_pending = 0;  ///< buffered, not yet assimilated
   bool complete = false;          ///< all Nt intervals assimilated
   bool closing = false;
+  bool degraded = false;  ///< forecast is over a reduced sensor network
+  std::size_t dropped_channels = 0;  ///< currently masked channels
   bool alert = false;
   /// Intervals assimilated when the alert latched (alert_tick * dt is the
   /// alert time in data time). Meaningful only when `alert`.
@@ -104,6 +107,28 @@ class EventSession {
   [[nodiscard]] bool submit(std::size_t tick, std::span<const double> d_block,
                             ServiceTelemetry& telemetry);
 
+  /// Partial-tick submit: `valid[c] == 0` marks channel c of this block as
+  /// lost on the wire (the assimilator projects it out exactly — see
+  /// StreamingAssimilator's degraded-mode contract). `valid` must be empty
+  /// (all channels present) or exactly block-size long; an all-ones bitmap
+  /// is normalized to empty so fully-valid partial submits stay on the
+  /// bitwise-identical healthy fast path. A block whose dimensions disagree
+  /// with the network (data OR bitmap) is journaled as kReject, counted in
+  /// telemetry, and refused with std::invalid_argument — at the submit
+  /// boundary, never out of a drain worker.
+  [[nodiscard]] bool submit(std::size_t tick, std::span<const double> d_block,
+                            std::span<const std::uint8_t> valid,
+                            ServiceTelemetry& telemetry);
+
+  /// Control plane: drop (live == false) or restore (live == true) sensor
+  /// channel `s` for this event, mid-stream. Journals kSensorDrop /
+  /// kSensorRestore immediately; the mask change itself is applied by
+  /// whichever thread owns the session — this caller if the session is
+  /// idle (it wins the scheduled flag, applies, republishes the corrected
+  /// forecast, and drains any backlog), otherwise the owning drain worker
+  /// at its next cycle boundary (so the op never races a push).
+  void set_sensor(std::size_t s, bool live, ServiceTelemetry& telemetry);
+
   /// Worker entry point: assimilate every in-order buffered block, then
   /// release the session. Only the worker that won the scheduled flag (via
   /// submit() returning true) may call this.
@@ -121,6 +146,10 @@ class EventSession {
 
   [[nodiscard]] EventSnapshot snapshot() const;
 
+  /// Cheap (no Forecast copy) degraded view for the /metrics scrape:
+  /// {degraded, dropped_channels} of the latest published forecast.
+  [[nodiscard]] std::pair<bool, std::size_t> degraded_state() const;
+
   /// Seconds since this session last published a forecast (since open if it
   /// never has). The per-session staleness gauge of the /metrics export.
   [[nodiscard]] double staleness_seconds() const;
@@ -137,6 +166,10 @@ class EventSession {
   struct Block {
     std::size_t tick;
     std::vector<double> data;
+    /// Per-channel validity bitmap; empty = every channel present (the
+    /// healthy fast path). Carried beside the data so the reorder buffer
+    /// preserves which channels of WHICH tick were lost.
+    std::vector<std::uint8_t> valid;
     std::int64_t enqueue_ns;  ///< obs::monotonic_ns() when submit buffered it
   };
 
@@ -145,7 +178,17 @@ class EventSession {
   /// attribute queue-wait time to THIS block, however long it sat.
   struct Pending {
     std::vector<double> data;
+    std::vector<std::uint8_t> valid;
     std::int64_t enqueue_ns;
+  };
+
+  /// One queued sensor control op (set_sensor). Guarded by state_mutex_;
+  /// applied in submission order by the session owner, so a drop/restore
+  /// pair queued while a worker drains lands between pushes, never inside
+  /// one.
+  struct MaskOp {
+    std::size_t sensor;
+    bool live;
   };
 
   /// Move the runnable prefix (consecutive ticks from next_expected_) out
@@ -171,6 +214,18 @@ class EventSession {
   /// Push one block through the assimilator and refresh the snapshot +
   /// alert latch. Called by the owning worker only (no state_mutex_).
   void assimilate(const Block& block, ServiceTelemetry& telemetry);
+
+  /// Owner only: pop and apply every queued set_sensor op (in order).
+  /// Returns true iff any op was applied — the caller then republishes via
+  /// publish_forecast_only() so dashboards see the corrected posterior
+  /// without waiting for the next push.
+  [[nodiscard]] bool apply_pending_mask_ops();
+
+  /// Owner only: refresh the published snapshot from the assimilator's
+  /// current state without a push — no telemetry sample, no budget journal
+  /// record (control events journal their own kind). Used after sensor
+  /// drop/restore.
+  void publish_forecast_only();
 
   /// Arm the latency-budget context for the block about to be pushed: marks
   /// the push start (= end of the block's queue wait) and remembers its tick
@@ -222,6 +277,7 @@ class EventSession {
   std::condition_variable space_cv_;  ///< backpressure waiters
   std::condition_variable idle_cv_;   ///< wait_idle waiters
   std::map<std::size_t, Pending> pending_;  ///< tick -> stamped block
+  std::vector<MaskOp> mask_ops_;   ///< queued sensor drops/restores
   std::size_t next_expected_ = 0;  ///< next tick the assimilator must see
   bool scheduled_ = false;         ///< a worker owns (or is queued for) this
   bool closing_ = false;

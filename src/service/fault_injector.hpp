@@ -1,0 +1,96 @@
+#pragma once
+
+// Deterministic service-level fault injection (degraded-mode harness).
+//
+// A degraded-mode code path that is only exercised when real hardware fails
+// is a code path that does not work. The injector turns the failure modes
+// of a live seafloor-cable feed into REPRODUCIBLE test inputs:
+//
+//   * sensor death:  channel s goes dark at tick t (optionally back at r) —
+//                    driven through WarningService::drop_sensor/restore_sensor;
+//   * packet loss:   a whole tick block never arrives — submitted with an
+//                    all-zeros validity bitmap, so the stream keeps moving
+//                    and the posterior is exact over what did arrive;
+//   * corruption:    a block arrives with the wrong dimension and must be
+//                    rejected at the submit boundary (journal kReject).
+//
+// Every decision is a pure hash of (seed, event, tick): no global state, no
+// call-order dependence, no RNG stream shared across threads. Two replays
+// of the same plan produce the same faults on any machine under any worker
+// interleaving — the repo's seeded-determinism contract extended to its
+// failure modes.
+//
+// Env knobs (FaultPlan::from_env; used by examples/warning_service.cpp and
+// the CI fault-injection job):
+//   TSUNAMI_FAULT_SEED=42                   hash seed (default 42)
+//   TSUNAMI_FAULT_DROP_SENSOR=2@5,0@8-20    comma list of channel@drop_tick
+//                                           or channel@drop_tick-restore_tick
+//   TSUNAMI_FAULT_PACKET_LOSS=0.05          P(lose block) per (event, tick)
+//   TSUNAMI_FAULT_CORRUPT=0.01              P(corrupt block) per (event, tick)
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace tsunami {
+
+/// One scripted sensor outage: channel `sensor` drops at `drop_tick` and
+/// (if restore_tick != kNever) comes back at `restore_tick`.
+struct SensorFault {
+  static constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+  std::size_t sensor = 0;
+  std::size_t drop_tick = 0;
+  std::size_t restore_tick = kNever;
+};
+
+/// The full injection script. Plain data so tests can build plans directly;
+/// from_env() is the deployment/CI entry point.
+struct FaultPlan {
+  std::uint64_t seed = 42;
+  double packet_loss = 0.0;  ///< in [0, 1]
+  double corrupt = 0.0;      ///< in [0, 1]
+  std::vector<SensorFault> sensor_faults;
+
+  /// Parse the TSUNAMI_FAULT_* environment knobs (absent knobs keep their
+  /// defaults). Throws std::invalid_argument on malformed values — a typo'd
+  /// fault script that silently injects nothing would "pass" every drill.
+  [[nodiscard]] static FaultPlan from_env();
+
+  [[nodiscard]] bool any() const {
+    return packet_loss > 0.0 || corrupt > 0.0 || !sensor_faults.empty();
+  }
+};
+
+/// Stateless decision oracle over a FaultPlan. const and thread-safe; every
+/// method is a pure function of its arguments and the plan.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Should (event, tick)'s block be lost in transit?
+  [[nodiscard]] bool lose_block(std::uint64_t event, std::size_t tick) const;
+
+  /// Should (event, tick)'s block arrive dimensionally corrupt? Evaluated
+  /// only when the block was not already lost (loss shadows corruption).
+  [[nodiscard]] bool corrupt_block(std::uint64_t event,
+                                   std::size_t tick) const;
+
+  /// Scripted sensor ops due at `tick`: (channel, live) pairs, drops before
+  /// restores. Feed-loop contract: call once per tick, before submitting
+  /// that tick's blocks.
+  [[nodiscard]] std::vector<std::pair<std::size_t, bool>> sensor_ops_at(
+      std::size_t tick) const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Uniform [0,1) from a hash of (seed, salt, event, tick).
+  [[nodiscard]] double uniform(std::uint64_t salt, std::uint64_t event,
+                               std::size_t tick) const;
+
+  FaultPlan plan_;
+};
+
+}  // namespace tsunami

@@ -28,6 +28,7 @@ TelemetrySnapshot ServiceTelemetry::snapshot() const {
   s.ticks_assimilated = ticks_assimilated_.load(relaxed);
   s.ticks_rejected = ticks_rejected_.load(relaxed);
   s.ticks_blocked = ticks_blocked_.load(relaxed);
+  s.ticks_corrupt = ticks_corrupt_.load(relaxed);
   s.wall_seconds = since_start_.seconds();
   s.ticks_per_second =
       s.wall_seconds > 0.0
@@ -71,6 +72,10 @@ void ServiceTelemetry::collect_into(obs::MetricsSnapshot& snapshot) const {
   snapshot.counter("tsunami_service_ticks_blocked_total",
                    static_cast<double>(ticks_blocked_.load(relaxed)), {},
                    "Submit calls that stalled on kBlock backpressure");
+  // mo: relaxed — same scrape-time contract as above.
+  snapshot.counter("tsunami_service_ticks_corrupt_total",
+                   static_cast<double>(ticks_corrupt_.load(relaxed)), {},
+                   "Malformed blocks refused at the submit boundary");
   snapshot.histogram("tsunami_service_push_latency_seconds",
                      push_latency_.snapshot(), {},
                      "Per-tick assimilation latency (lifetime)");

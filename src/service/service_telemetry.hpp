@@ -33,6 +33,7 @@ struct TelemetrySnapshot {
   std::uint64_t ticks_assimilated = 0;
   std::uint64_t ticks_rejected = 0;  ///< backpressure rejections (kReject)
   std::uint64_t ticks_blocked = 0;   ///< backpressure stalls (kBlock)
+  std::uint64_t ticks_corrupt = 0;   ///< malformed blocks refused at submit
   double wall_seconds = 0.0;         ///< since service start
   /// Aggregate assimilation rate over the service lifetime. The per-window
   /// rate a load test wants is (delta ticks) / (delta wall) between two
@@ -67,6 +68,8 @@ class ServiceTelemetry {
   void on_rejected() { ticks_rejected_.fetch_add(1, relaxed); }
   // mo: relaxed — same independent-counter contract as above.
   void on_blocked() { ticks_blocked_.fetch_add(1, relaxed); }
+  // mo: relaxed — same independent-counter contract as above.
+  void on_corrupt() { ticks_corrupt_.fetch_add(1, relaxed); }
 
   /// Record one assimilated tick and its push latency.
   void on_push(double seconds);
@@ -93,6 +96,7 @@ class ServiceTelemetry {
   std::atomic<std::uint64_t> ticks_assimilated_{0};
   std::atomic<std::uint64_t> ticks_rejected_{0};
   std::atomic<std::uint64_t> ticks_blocked_{0};
+  std::atomic<std::uint64_t> ticks_corrupt_{0};
   Stopwatch since_start_;
   obs::Histogram push_latency_;  ///< seconds; wait-free multi-writer
   obs::Histogram ttff_;          ///< seconds, open -> first forecast

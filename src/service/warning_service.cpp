@@ -69,6 +69,21 @@ void WarningService::submit(EventId id, std::size_t tick,
   if (s->submit(tick, d_block, telemetry_)) enqueue_ready(s);
 }
 
+void WarningService::submit(EventId id, std::size_t tick,
+                            std::span<const double> d_block,
+                            std::span<const std::uint8_t> valid) {
+  const std::shared_ptr<EventSession> s = session(id);
+  if (s->submit(tick, d_block, valid, telemetry_)) enqueue_ready(s);
+}
+
+void WarningService::drop_sensor(EventId id, std::size_t s) {
+  session(id)->set_sensor(s, /*live=*/false, telemetry_);
+}
+
+void WarningService::restore_sensor(EventId id, std::size_t s) {
+  session(id)->set_sensor(s, /*live=*/true, telemetry_);
+}
+
 EventSnapshot WarningService::latest_forecast(EventId id) const {
   return session(id)->snapshot();
 }
@@ -123,11 +138,24 @@ void WarningService::collect_metrics(obs::MetricsSnapshot& snapshot) const {
     open.reserve(sessions_.size());
     for (const auto& [_, s] : sessions_) open.push_back(s);
   }
-  for (const auto& s : open)
+  std::size_t degraded_sessions = 0;
+  for (const auto& s : open) {
     snapshot.gauge("tsunami_service_forecast_staleness_seconds",
                    s->staleness_seconds(),
                    {{"event", std::to_string(s->id())}},
                    "Seconds since this event last published a forecast");
+    const auto [degraded, dropped] = s->degraded_state();
+    if (degraded) ++degraded_sessions;
+    if (dropped > 0)
+      snapshot.gauge("tsunami_service_dropped_channels",
+                     static_cast<double>(dropped),
+                     {{"event", std::to_string(s->id())}},
+                     "Sensor channels currently masked out of this event");
+  }
+  snapshot.gauge("tsunami_service_degraded_sessions",
+                 static_cast<double>(degraded_sessions), {},
+                 "Sessions currently publishing degraded (reduced-network) "
+                 "forecasts");
 }
 
 std::string WarningService::events_json() const {
@@ -145,15 +173,17 @@ std::string WarningService::events_json() const {
     const EventSnapshot snap = s->snapshot();
     if (!first_event) out += ',';
     first_event = false;
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "{\"id\":%llu,\"ticks\":%zu,\"pending\":%zu,"
                   "\"complete\":%s,\"alert\":%s,\"alert_tick\":%zu,"
+                  "\"degraded\":%s,\"dropped_channels\":%zu,"
                   "\"staleness_seconds\":%.6f,\"journal\":[",
                   static_cast<unsigned long long>(snap.id),
                   snap.ticks_assimilated, snap.ticks_pending,
                   snap.complete ? "true" : "false",
                   snap.alert ? "true" : "false", snap.alert_tick,
+                  snap.degraded ? "true" : "false", snap.dropped_channels,
                   s->staleness_seconds());
     out += buf;
     bool first_record = true;
@@ -246,12 +276,18 @@ void WarningService::drain_batched(std::shared_ptr<EventSession> leader) {
   TRACE_SCOPE("service", "drain_batched");
   std::vector<StreamingAssimilator*> group_events;
   std::vector<std::span<const double>> group_blocks;
+  std::vector<std::span<const std::uint8_t>> group_valids;
   while (!active.empty()) {
     const std::size_t n = active.size();
     std::vector<EventSession::Block> blocks(n);
     std::vector<char> has(n, 0);
     std::map<std::size_t, std::vector<std::size_t>> by_tick;
     for (std::size_t i = 0; i < n; ++i) {
+      // Sensor control ops land at round boundaries, mirroring drain_for's
+      // cycle head — release_if_idle below refuses to idle past one, so an
+      // op queued mid-round is applied next round, never lost.
+      if (active[i]->apply_pending_mask_ops())
+        active[i]->publish_forecast_only();
       if (active[i]->take_one_runnable(blocks[i])) {
         has[i] = 1;
         by_tick[blocks[i].tick].push_back(i);
@@ -265,14 +301,22 @@ void WarningService::drain_batched(std::shared_ptr<EventSession> leader) {
       }
       group_events.clear();
       group_blocks.clear();
+      group_valids.clear();
+      bool any_valid_bitmap = false;
       for (const std::size_t i : idxs) {
         // Arm each session's latency-budget context now: the fused sweep is
         // where every block's queue wait ends and its push begins.
         active[i]->begin_push_ctx(tick, blocks[i].enqueue_ns);
         group_events.push_back(&active[i]->assimilator());
         group_blocks.push_back(blocks[i].data);
+        group_valids.push_back(blocks[i].valid);
+        any_valid_bitmap |= !blocks[i].valid.empty();
       }
-      StreamingAssimilator::push_many(group_events, tick, group_blocks);
+      if (any_valid_bitmap)
+        StreamingAssimilator::push_many(group_events, tick, group_blocks,
+                                        group_valids);
+      else
+        StreamingAssimilator::push_many(group_events, tick, group_blocks);
       for (const std::size_t i : idxs)
         active[i]->publish_after_push(telemetry_);
     }

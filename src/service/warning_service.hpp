@@ -98,6 +98,27 @@ class WarningService {
   /// ServiceOverloaded per the backpressure policy.
   void submit(EventId id, std::size_t tick, std::span<const double> d_block);
 
+  /// Partial-tick ingest: `valid[c] == 0` marks channel c as lost on the
+  /// wire for this block only (empty = all present). Malformed blocks
+  /// (wrong data or bitmap dimension, impossible tick) are journaled as
+  /// kReject and refused with std::invalid_argument at this boundary —
+  /// never out of a drain worker.
+  void submit(EventId id, std::size_t tick, std::span<const double> d_block,
+              std::span<const std::uint8_t> valid);
+
+  /// Degraded-mode control plane: mask sensor channel `s` out of event
+  /// `id`'s assimilation, mid-stream. The event's posterior becomes the
+  /// exact posterior over the surviving network (all past and future data
+  /// from `s` projected out); the corrected forecast republishes
+  /// immediately and the journal records kSensorDrop.
+  void drop_sensor(EventId id, std::size_t s);
+  /// Undo drop_sensor: re-admit channel `s`. The drop was a projection, not
+  /// a deletion, so data from `s` assimilated BEFORE the drop returns to
+  /// the posterior exactly; ticks that arrived while the channel was masked
+  /// stay projected out forever (their payload was discarded at ingest).
+  /// Journals kSensorRestore.
+  void restore_sensor(EventId id, std::size_t s);
+
   /// Latest rolling forecast + alert state of one event (cheap snapshot).
   [[nodiscard]] EventSnapshot latest_forecast(EventId id) const;
 

@@ -273,6 +273,125 @@ TEST(DenseCholesky, RejectsIndefiniteMatrix) {
   EXPECT_THROW(DenseCholesky{a}, std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Rank-r factor updates (the degraded-mode primitives): update/downdate and
+// append_row must match a from-scratch factorization of the modified matrix
+// to near machine precision — they are exact algebra, not approximations.
+// ---------------------------------------------------------------------------
+
+TEST(DenseCholesky, RankUpdateMatchesRefactorization) {
+  Rng rng(31);
+  const std::size_t n = 24;
+  const Matrix a = random_spd(n, rng);
+  const auto u = rng.normal_vector(n);
+
+  Matrix a_up = a;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a_up(i, j) += u[i] * u[j];
+
+  DenseCholesky chol(a);
+  std::vector<double> u_work = u;  // rank_update is destructive on u
+  chol.rank_update(std::span<double>(u_work));
+  const DenseCholesky ref(a_up);
+  EXPECT_LT(chol.factor().max_abs_diff(ref.factor()), 1e-10);
+}
+
+TEST(DenseCholesky, RankDowndateMatchesRefactorization) {
+  Rng rng(32);
+  const std::size_t n = 24;
+  const Matrix base = random_spd(n, rng);
+  const auto u = rng.normal_vector(n);
+  // a = base + u u^T, so downdating u from chol(a) must recover chol(base).
+  Matrix a = base;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) += u[i] * u[j];
+
+  DenseCholesky chol(a);
+  std::vector<double> u_work = u;
+  chol.rank_downdate(std::span<double>(u_work));
+  const DenseCholesky ref(base);
+  EXPECT_LT(chol.factor().max_abs_diff(ref.factor()), 1e-10);
+}
+
+// r = n - 1: the heaviest legal rank for one factor — a full sweep of
+// updates then the matching downdates must return to the original factor.
+TEST(DenseCholesky, RankManyRoundTripAtRankNMinusOne) {
+  Rng rng(33);
+  const std::size_t n = 16, r = n - 1;
+  const Matrix a = random_spd(n, rng, 10.0);
+  Matrix u_cols(n, r);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < r; ++j) u_cols(i, j) = 0.3 * rng.normal();
+
+  // Reference: refactorize a + U U^T.
+  Matrix a_up = a;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < r; ++k)
+        a_up(i, j) += u_cols(i, k) * u_cols(j, k);
+
+  DenseCholesky chol(a);
+  chol.rank_update_many(u_cols);
+  const DenseCholesky ref(a_up);
+  EXPECT_LT(chol.factor().max_abs_diff(ref.factor()), 1e-10);
+
+  chol.rank_downdate_many(u_cols);
+  const DenseCholesky orig(a);
+  EXPECT_LT(chol.factor().max_abs_diff(orig.factor()), 1e-9);
+}
+
+TEST(DenseCholesky, DowndateToIndefiniteThrows) {
+  Rng rng(34);
+  const std::size_t n = 8;
+  const Matrix a = random_spd(n, rng);
+  DenseCholesky chol(a);
+  // u far larger than any eigenvalue of a: a - u u^T is indefinite.
+  std::vector<double> u(n, 100.0 * std::sqrt(a(0, 0) + static_cast<double>(n)));
+  EXPECT_THROW(chol.rank_downdate(std::span<double>(u)), std::runtime_error);
+}
+
+TEST(DenseCholesky, RankUpdateZeroVectorIsExactNoop) {
+  Rng rng(35);
+  const Matrix a = random_spd(12, rng);
+  DenseCholesky chol(a);
+  const Matrix before = chol.factor();
+  std::vector<double> zero(12, 0.0);
+  chol.rank_update(std::span<double>(zero));
+  EXPECT_EQ(chol.factor().max_abs_diff(before), 0.0);  // bitwise no-op
+  chol.rank_downdate(std::span<double>(zero));
+  EXPECT_EQ(chol.factor().max_abs_diff(before), 0.0);
+}
+
+TEST(DenseCholesky, AppendRowMatchesRefactorization) {
+  Rng rng(36);
+  const std::size_t n = 20;
+  const Matrix full = random_spd(n + 1, rng);
+  Matrix leading(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) leading(i, j) = full(i, j);
+
+  DenseCholesky chol(leading);
+  std::vector<double> a_col(n + 1);
+  for (std::size_t i = 0; i < n; ++i) a_col[i] = full(n, i);
+  a_col[n] = full(n, n);
+  chol.append_row(a_col);
+
+  const DenseCholesky ref(full);
+  EXPECT_EQ(chol.dim(), n + 1);
+  EXPECT_LT(chol.factor().max_abs_diff(ref.factor()), 1e-10);
+}
+
+TEST(DenseCholesky, AppendRowRejectsNonSpdExtension) {
+  Rng rng(37);
+  const std::size_t n = 6;
+  const Matrix a = random_spd(n, rng);
+  DenseCholesky chol(a);
+  std::vector<double> a_col(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a_col[i] = 50.0 * (a(0, 0) + 1.0);
+  a_col[n] = 1e-9;  // tiny diagonal under a huge coupled row: not SPD
+  EXPECT_THROW(chol.append_row(a_col), std::runtime_error);
+}
+
 TEST(BandedMatrix, MultiplyMatchesDense) {
   Rng rng(31);
   const std::size_t n = 30, bw = 4;
